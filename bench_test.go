@@ -1,0 +1,158 @@
+// Benchmark harness: one benchmark per reproduced experiment (E1–E8, F1 in
+// DESIGN.md). Each benchmark regenerates its experiment and reports the
+// headline numbers via b.ReportMetric, so `go test -bench=. -benchmem`
+// reproduces the entire evaluation. cmd/experiments prints the same data
+// as full tables.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func report(b *testing.B, t *experiments.Table, keys ...string) {
+	b.Helper()
+	for _, k := range keys {
+		if v, ok := t.Metrics[k]; ok {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+// BenchmarkE1RateSemantics regenerates the Section 5 worked examples:
+// 6 data flash reads per 100 instructions ⇒ 6 % rate; 4 I-cache misses
+// per 100 instructions ⇒ 96 % hit rate.
+func BenchmarkE1RateSemantics(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E1RateSemantics()
+	}
+	report(b, t, "dflash_rate", "exact_window_fraction", "hitrate_convention")
+}
+
+// BenchmarkE2IPCTimeline regenerates the dynamic IPC measurement at three
+// resolutions (bounded by the 3-wide core).
+func BenchmarkE2IPCTimeline(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E2IPCTimeline()
+	}
+	report(b, t, "ipc_mean", "ipc_max")
+}
+
+// BenchmarkE3Bandwidth regenerates the tool-link bandwidth comparison:
+// rate messages vs external counter sampling vs full program trace.
+func BenchmarkE3Bandwidth(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E3Bandwidth()
+	}
+	report(b, t, "sampling_over_rate", "trace_over_rate")
+}
+
+// BenchmarkE4Cascade regenerates the cascaded-counter measurement
+// (high-resolution capture armed only below the IPC threshold).
+func BenchmarkE4Cascade(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E4Cascade()
+	}
+	report(b, t, "bytes_saved_factor", "low_ipc_coverage")
+}
+
+// BenchmarkE5Intrusiveness regenerates the perturbation comparison: MCDS
+// profiling (exactly zero) vs software instrumentation.
+func BenchmarkE5Intrusiveness(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E5Intrusiveness()
+	}
+	report(b, t, "mcds_overhead", "sw_overhead")
+}
+
+// BenchmarkE6OptionRanking regenerates the architecture option ranking
+// (analytical estimate vs re-simulated gain, ranked by gain/area).
+func BenchmarkE6OptionRanking(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E6OptionRanking(true)
+	}
+	report(b, t, "best_gain_per_area", "best_meas_gain", "est_sign_agreement", "best_is_flash_path")
+}
+
+// BenchmarkE7FlashLever regenerates the flash-path sensitivity sweep
+// against the SRAM-latency control.
+func BenchmarkE7FlashLever(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E7FlashLever()
+	}
+	report(b, t, "ws_sensitivity", "sram_sensitivity", "flash_vs_sram_lever")
+}
+
+// BenchmarkE8CycleTrace regenerates the multi-core cycle-accurate trace
+// merge (shared-variable access order).
+func BenchmarkE8CycleTrace(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E8CycleTrace()
+	}
+	report(b, t, "order_violations", "shared_events")
+}
+
+// BenchmarkE9Multicore regenerates the multi-core scalability experiment
+// (two TriCore cores under one MCDS).
+func BenchmarkE9Multicore(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E9Multicore()
+	}
+	report(b, t, "rate_scaling", "flow_over_rate_2core", "order_preserved")
+}
+
+// BenchmarkF1FModel regenerates the generational F-model loop (Figure 1).
+func BenchmarkF1FModel(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.F1FModel(true)
+	}
+	report(b, t, "generations", "cumulative_gain")
+}
+
+// BenchmarkA1RateBasis regenerates the rate-basis ablation (instruction vs
+// cycle basis across hardware speeds).
+func BenchmarkA1RateBasis(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.A1RateBasis()
+	}
+	report(b, t, "instr_basis_drift", "cycle_basis_drift")
+}
+
+// BenchmarkA2Compression regenerates the trace-compression ablation.
+func BenchmarkA2Compression(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.A2Compression()
+	}
+	report(b, t, "compression_factor")
+}
+
+// BenchmarkA3FlashArbitration regenerates the port-arbitration ablation.
+func BenchmarkA3FlashArbitration(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.A3FlashArbitration()
+	}
+	report(b, t, "slowdown_fcfs", "slowdown_data-priority")
+}
+
+// BenchmarkA4TraceBufferSizing regenerates the EMEM sizing ablation.
+func BenchmarkA4TraceBufferSizing(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.A4TraceBufferSizing()
+	}
+	report(b, t, "loss_2kb", "loss_384kb")
+}

@@ -1,0 +1,72 @@
+// Command experiments regenerates every table of the reproduction's
+// evaluation (experiments E1–E8, F1, and the A1–A4 ablations in
+// DESIGN.md / EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-quick] [-only E3,E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller fleets and shorter runs")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	asJSON := flag.Bool("json", false, "emit JSON objects instead of text tables")
+	flag.Parse()
+
+	type exp struct {
+		id  string
+		run func() *experiments.Table
+	}
+	all := []exp{
+		{"E1", experiments.E1RateSemantics},
+		{"E2", experiments.E2IPCTimeline},
+		{"E3", experiments.E3Bandwidth},
+		{"E4", experiments.E4Cascade},
+		{"E5", experiments.E5Intrusiveness},
+		{"E6", func() *experiments.Table { return experiments.E6OptionRanking(*quick) }},
+		{"E7", experiments.E7FlashLever},
+		{"E8", experiments.E8CycleTrace},
+		{"E9", experiments.E9Multicore},
+		{"F1", func() *experiments.Table { return experiments.F1FModel(*quick) }},
+		{"A1", experiments.A1RateBasis},
+		{"A2", experiments.A2Compression},
+		{"A3", experiments.A3FlashArbitration},
+		{"A4", experiments.A4TraceBufferSizing},
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		tb := e.run()
+		if *asJSON {
+			if err := tb.RenderJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			tb.Render(os.Stdout)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *only)
+		os.Exit(1)
+	}
+}

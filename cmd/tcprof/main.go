@@ -1,0 +1,136 @@
+// Command tcprof runs the Enhanced System Profiling methodology on an
+// Emulation Device: all standard parameters are measured dynamically and
+// in parallel by the MCDS, drained over the DAP model, and printed as a
+// summary plus (optionally) a CSV timeline.
+//
+// Usage:
+//
+//	tcprof [-soc TC1797|TC1767] [-seed N] [-cycles N] [-res N]
+//	       [-csv timeline.csv] [-rawtrace trace.bin] [-flow]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dap"
+	"repro/internal/profiling"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+func main() {
+	socName := flag.String("soc", "TC1797", "SoC preset (the ED twin is used)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	cycles := flag.Uint64("cycles", 1_000_000, "measurement horizon in CPU cycles")
+	res := flag.Uint64("res", 1000, "resolution (basis events per sample window)")
+	csvPath := flag.String("csv", "", "write the per-window timeline as CSV")
+	rawPath := flag.String("rawtrace", "", "write the raw DAP byte stream (decode with tracedump)")
+	flow := flag.Bool("flow", false, "additionally record the program flow trace")
+	diagnose := flag.Float64("diagnose", 0, "diagnose windows with IPC below this threshold")
+	plot := flag.Bool("plot", false, "render each parameter's timeline as a sparkline")
+	flag.Parse()
+
+	var cfg soc.Config
+	switch *socName {
+	case "TC1797":
+		cfg = soc.TC1797()
+	case "TC1767":
+		cfg = soc.TC1767()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown SoC %q\n", *socName)
+		os.Exit(1)
+	}
+	cfg = cfg.WithED()
+
+	spec := workload.Spec{
+		Name: "cli", Seed: *seed, CodeKB: 24, TableKB: 32, FilterTaps: 16,
+		DiagBranches: 12, ADCPeriod: 2500, TimerPeriod: 9000, CANMeanGap: 5000,
+		EEPROMEmul: true,
+	}
+	s := soc.New(cfg, *seed)
+	app, err := workload.Build(s, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	params := append(profiling.StandardParams(), profiling.PCPParams()...)
+	dapCfg := dap.DefaultConfig(cfg.CPUFreqMHz)
+	sess := profiling.NewSession(s, profiling.Spec{
+		Resolution: *res, Params: params, DAP: &dapCfg,
+	})
+	if *flow {
+		sess.CPUObs().FlowTrace = true
+	}
+
+	app.RunFor(*cycles)
+	prof, err := sess.Result(spec.Name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s  %d cycles  %d instructions  resolution %d\n",
+		cfg.Name, prof.Cycles, prof.Instr, *res)
+	fmt.Printf("trace: %d bytes emitted, %d messages lost, DAP drained %d bytes\n",
+		prof.TraceBytes, prof.MsgsLost, sess.DAP.TotalDrained)
+	fmt.Printf("%-22s %10s %10s %10s %8s\n", "parameter", "mean", "min", "max", "windows")
+	for _, name := range prof.Names() {
+		se := prof.Series[name]
+		fmt.Printf("%-22s %10.4f %10.4f %10.4f %8d",
+			name, se.Mean(), se.Min(), se.Max(), len(se.Samples))
+		if *plot {
+			fmt.Printf("  %s", se.Sparkline(48))
+		}
+		fmt.Println()
+	}
+
+	if *diagnose > 0 {
+		diags := prof.Diagnose("ipc", *diagnose)
+		fmt.Printf("\n%d windows below IPC %.2f; top suspects across them:\n", len(diags), *diagnose)
+		for i, sp := range profiling.TopSuspects(diags, 3) {
+			if i >= 6 {
+				break
+			}
+			fmt.Printf("  %-22s implicated in %d windows\n", sp.Name, sp.Instr)
+		}
+		for i, dg := range diags {
+			if i >= 3 {
+				break
+			}
+			fmt.Printf("  window @%d (IPC %.3f):", dg.Window.Cycle, dg.Window.Rate())
+			for j, f := range dg.Factors {
+				if j >= 3 {
+					break
+				}
+				fmt.Printf("  %s", f)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(f, "param,cycle,basis,count,rate")
+		for _, name := range prof.Names() {
+			for _, smp := range prof.Series[name].Samples {
+				fmt.Fprintf(f, "%s,%d,%d,%d,%.6f\n", name, smp.Cycle, smp.Basis, smp.Count, smp.Rate())
+			}
+		}
+		f.Close()
+		fmt.Printf("timeline written to %s\n", *csvPath)
+	}
+	if *rawPath != "" {
+		if err := os.WriteFile(*rawPath, sess.DAP.Received, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("raw trace written to %s (%d bytes)\n", *rawPath, len(sess.DAP.Received))
+	}
+}

@@ -1,0 +1,200 @@
+// Package cache models the CPU instruction and data caches: set-associative
+// tag arrays with configurable size, line length, associativity and
+// replacement policy.
+//
+// The caches are write-through (as in the TriCore 1.3 data cache), so the
+// model keeps tags only and leaves the data in the backing store; a hit is
+// purely a timing statement. This keeps the simulated SoC trivially
+// coherent while preserving everything the profiling methodology measures:
+// hit/miss/access event streams and miss-induced stall cycles.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Replacement selects the victim policy.
+type Replacement uint8
+
+// Replacement policies.
+const (
+	LRU Replacement = iota
+	Random
+)
+
+// String names the policy.
+func (r Replacement) String() string {
+	if r == LRU {
+		return "lru"
+	}
+	return "random"
+}
+
+// Config parameterizes a cache.
+type Config struct {
+	Name      string
+	Size      uint32 // total capacity in bytes
+	LineBytes uint32 // line length, power of two
+	Ways      int    // associativity
+	Policy    Replacement
+	Seed      uint64 // RNG seed for Random replacement
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() uint32 { return c.Size / (c.LineBytes * uint32(c.Ways)) }
+
+type line struct {
+	valid   bool
+	tag     uint32
+	lastUse uint64
+}
+
+// Cache is a set-associative tag array.
+type Cache struct {
+	cfg      Config
+	sets     uint32
+	lines    []line // sets × ways
+	useClock uint64
+	rng      *sim.RNG
+	counters *sim.Counters
+	evI      [3]sim.Event // access/hit/miss events to report under
+}
+
+// New builds a cache from cfg. kind selects which event classes lookups are
+// reported under: "i" for the instruction cache, "d" for the data cache.
+// ctrs is the counter set lookups are recorded into (typically the owning
+// CPU's counters, so one observation block sees all core events); nil
+// allocates a private set.
+func New(cfg Config, kind string, ctrs *sim.Counters) *Cache {
+	if cfg.LineBytes == 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("cache: LineBytes must be a power of two")
+	}
+	if cfg.Ways <= 0 || cfg.Size == 0 || cfg.Size%(cfg.LineBytes*uint32(cfg.Ways)) != 0 {
+		panic(fmt.Sprintf("cache %s: inconsistent geometry %+v", cfg.Name, cfg))
+	}
+	if ctrs == nil {
+		ctrs = new(sim.Counters)
+	}
+	c := &Cache{
+		cfg:      cfg,
+		sets:     cfg.Sets(),
+		lines:    make([]line, cfg.Sets()*uint32(cfg.Ways)),
+		rng:      sim.NewRNG(cfg.Seed ^ 0xCAC4E),
+		counters: ctrs,
+	}
+	switch kind {
+	case "i":
+		c.evI = [3]sim.Event{sim.EvICacheAccess, sim.EvICacheHit, sim.EvICacheMiss}
+	case "d":
+		c.evI = [3]sim.Event{sim.EvDCacheAccess, sim.EvDCacheHit, sim.EvDCacheMiss}
+	default:
+		panic("cache: kind must be \"i\" or \"d\"")
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Counters exposes the counter set lookups are recorded into.
+func (c *Cache) Counters() *sim.Counters { return c.counters }
+
+func (c *Cache) index(addr uint32) (set, tag uint32) {
+	lineNo := addr / c.cfg.LineBytes
+	return lineNo % c.sets, lineNo / c.sets
+}
+
+func (c *Cache) set(set uint32) []line {
+	w := uint32(c.cfg.Ways)
+	return c.lines[set*w : set*w+w]
+}
+
+// Lookup probes the cache for addr, updating replacement state and the
+// access/hit/miss counters. It returns true on hit.
+func (c *Cache) Lookup(addr uint32) bool {
+	c.useClock++
+	set, tag := c.index(addr)
+	c.counters.Inc(c.evI[0])
+	for i := range c.set(set) {
+		l := &c.set(set)[i]
+		if l.valid && l.tag == tag {
+			l.lastUse = c.useClock
+			c.counters.Inc(c.evI[1])
+			return true
+		}
+	}
+	c.counters.Inc(c.evI[2])
+	return false
+}
+
+// Probe reports whether addr would hit, without touching replacement state
+// or counters (used by tests asserting ground truth).
+func (c *Cache) Probe(addr uint32) bool {
+	set, tag := c.index(addr)
+	for i := range c.set(set) {
+		l := &c.set(set)[i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs the line containing addr, evicting a victim per the
+// replacement policy. It returns the byte address of the evicted line and
+// whether an eviction of a valid line occurred.
+func (c *Cache) Fill(addr uint32) (evicted uint32, didEvict bool) {
+	c.useClock++
+	set, tag := c.index(addr)
+	ways := c.set(set)
+	victim := 0
+	switch c.cfg.Policy {
+	case LRU:
+		for i := range ways {
+			if !ways[i].valid {
+				victim = i
+				break
+			}
+			if ways[i].lastUse < ways[victim].lastUse {
+				victim = i
+			}
+		}
+	case Random:
+		victim = c.rng.Intn(len(ways))
+		for i := range ways {
+			if !ways[i].valid {
+				victim = i
+				break
+			}
+		}
+	}
+	v := &ways[victim]
+	if v.valid {
+		evicted = (v.tag*c.sets + set) * c.cfg.LineBytes
+		didEvict = true
+	}
+	*v = line{valid: true, tag: tag, lastUse: c.useClock}
+	return evicted, didEvict
+}
+
+// InvalidateAll clears every line (power-on or cache-off transition).
+func (c *Cache) InvalidateAll() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// LineBytes returns the configured line length.
+func (c *Cache) LineBytes() uint32 { return c.cfg.LineBytes }
+
+// HitRate returns hits/accesses over the cache lifetime (1 when never
+// accessed, matching "no misses yet").
+func (c *Cache) HitRate() float64 {
+	acc := c.counters.Get(c.evI[0])
+	if acc == 0 {
+		return 1
+	}
+	return float64(c.counters.Get(c.evI[1])) / float64(acc)
+}

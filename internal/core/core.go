@@ -1,0 +1,117 @@
+// Package core implements the paper's system performance optimization
+// methodology (Sections 4 and 6): statistical application profiles,
+// gathered non-intrusively from many customer applications with the
+// Emulation Device, feed an analytical model that quantifies the
+// performance improvement of candidate SoC architecture options; options
+// are then ranked by their performance-gain / cost ratio, under the
+// constraint that no use case may regress ("improve on identified or
+// expected bottle necks without negative side effects for other possible
+// use cases").
+//
+// Two evaluation paths exist for every option:
+//
+//   - Analytical: the paper's approach — estimate the speedup from the
+//     measured event rates and stall decomposition alone (the future
+//     silicon does not exist yet).
+//   - Re-simulation: ground truth in this reproduction — apply the option
+//     to the SoC configuration and re-run the identical application for
+//     the same amount of work.
+//
+// Comparing the two quantifies how well the analytical methodology
+// predicts real gains (experiment E6).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/profiling"
+	"repro/internal/soc"
+)
+
+// AppProfile condenses one application's measured profile plus the
+// configuration it was measured on — the per-customer statistical record
+// the SoC architect aggregates.
+type AppProfile struct {
+	App    string
+	Cycles uint64
+	Instr  uint64
+
+	// CPI is cycles per instruction (the reciprocal of the paper's IPC).
+	CPI float64
+
+	// Rates are the per-basis event rates from the profiling session
+	// (per instruction unless the parameter is cycle-based).
+	Rates map[string]float64
+
+	// Config snapshot relevant to the analytical model.
+	FlashWS     uint64
+	ICacheBytes uint32
+	DCacheBytes uint32
+	SRAMLatency uint64
+}
+
+// FromProfile condenses a profiling result measured on cfg.
+func FromProfile(p *profiling.Profile, cfg soc.Config) AppProfile {
+	ap := AppProfile{
+		App:    p.App,
+		Cycles: p.Cycles,
+		Instr:  p.Instr,
+		Rates:  make(map[string]float64),
+	}
+	if p.Instr > 0 {
+		ap.CPI = float64(p.Cycles) / float64(p.Instr)
+	}
+	for name, se := range p.Series {
+		ap.Rates[name] = se.Mean()
+	}
+	ap.FlashWS = cfg.Flash.WaitStates
+	if cfg.ICache != nil {
+		ap.ICacheBytes = cfg.ICache.Size
+	}
+	if cfg.DCache != nil {
+		ap.DCacheBytes = cfg.DCache.Size
+	}
+	ap.SRAMLatency = cfg.SRAMLatency
+	return ap
+}
+
+// rate returns a named rate (0 when the parameter was not measured).
+func (ap AppProfile) rate(name string) float64 { return ap.Rates[name] }
+
+// stallFetchPI and stallDataPI convert the per-cycle stall fractions into
+// stall cycles per instruction, the unit the CPI stack uses.
+func (ap AppProfile) stallFetchPI() float64 { return ap.rate("stall_fetch") * ap.CPI }
+func (ap AppProfile) stallDataPI() float64  { return ap.rate("stall_data") * ap.CPI }
+
+// flashMissPenalty is the analytical model's estimate of the cycles one
+// flash-reaching access costs beyond a hit (array wait states plus bus and
+// transfer overhead).
+func (ap AppProfile) flashMissPenalty() float64 { return float64(ap.FlashWS) + 2 }
+
+// speedupFromSavedCPI converts saved CPI cycles into a speedup factor,
+// clamped to not promise more than the stall budget allows.
+func (ap AppProfile) speedupFromSavedCPI(saved float64) float64 {
+	if saved < 0 {
+		saved = 0
+	}
+	// Never claim to remove more than the measured total stall share.
+	maxSaved := ap.rate("stall_any") * ap.CPI
+	if saved > maxSaved {
+		saved = maxSaved
+	}
+	newCPI := ap.CPI - saved
+	if newCPI < 1.0/3 { // the core cannot beat 3 IPC
+		newCPI = 1.0 / 3
+	}
+	if newCPI <= 0 {
+		return 1
+	}
+	return ap.CPI / newCPI
+}
+
+// String summarizes the profile.
+func (ap AppProfile) String() string {
+	return fmt.Sprintf("%s: CPI=%.2f imiss=%.4f dflash=%.4f stallF=%.2f stallD=%.2f",
+		ap.App, ap.CPI, ap.rate("icache_miss"), ap.rate("dflash_read"),
+		ap.rate("stall_fetch"), ap.rate("stall_data"))
+}

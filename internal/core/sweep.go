@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+// Variant is one labelled point of a parameter sweep.
+type Variant struct {
+	Label  string
+	Config soc.Config
+}
+
+// SweepPoint is the measurement at one variant.
+type SweepPoint struct {
+	Label   string
+	Cycles  uint64
+	Speedup float64 // relative to the first variant
+}
+
+// Sweep measures the cycles for equal work (iters main-loop iterations of
+// spec) at every variant and reports speedups relative to the first —
+// the sensitivity-curve primitive behind experiment E7 and the option
+// estimators' calibration.
+func Sweep(variants []Variant, spec workload.Spec, iters uint32, limit uint64) ([]SweepPoint, error) {
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("core: empty sweep")
+	}
+	out := make([]SweepPoint, 0, len(variants))
+	var base uint64
+	for i, v := range variants {
+		cy, _, err := MeasureCycles(v.Config, spec, iters, limit)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep %q: %w", v.Label, err)
+		}
+		if i == 0 {
+			base = cy
+		}
+		out = append(out, SweepPoint{Label: v.Label, Cycles: cy,
+			Speedup: float64(base) / float64(cy)})
+	}
+	return out, nil
+}
+
+// FlashWaitStateVariants builds a sweep over flash array wait states.
+func FlashWaitStateVariants(base soc.Config, ws ...uint64) []Variant {
+	out := make([]Variant, 0, len(ws))
+	for _, w := range ws {
+		cfg := base
+		cfg.Flash.WaitStates = w
+		out = append(out, Variant{Label: fmt.Sprintf("flash-ws=%d", w), Config: cfg})
+	}
+	return out
+}
+
+// ICacheSizeVariants builds a sweep over instruction-cache capacities
+// (size 0 removes the cache).
+func ICacheSizeVariants(base soc.Config, sizes ...uint32) []Variant {
+	out := make([]Variant, 0, len(sizes))
+	for _, sz := range sizes {
+		cfg := base
+		if sz == 0 {
+			cfg.ICache = nil
+			out = append(out, Variant{Label: "icache=off", Config: cfg})
+			continue
+		}
+		var ic cache.Config
+		if base.ICache != nil {
+			ic = *base.ICache
+		} else {
+			ic = cache.Config{Name: "icache", LineBytes: 32, Ways: 2}
+		}
+		ic.Size = sz
+		cfg.ICache = &ic
+		out = append(out, Variant{Label: fmt.Sprintf("icache=%dK", sz>>10), Config: cfg})
+	}
+	return out
+}
+
+// SRAMLatencyVariants builds a sweep over LMU SRAM latency (the control
+// dimension of experiment E7).
+func SRAMLatencyVariants(base soc.Config, lats ...uint64) []Variant {
+	out := make([]Variant, 0, len(lats))
+	for _, l := range lats {
+		cfg := base
+		cfg.SRAMLatency = l
+		out = append(out, Variant{Label: fmt.Sprintf("sram-lat=%d", l), Config: cfg})
+	}
+	return out
+}

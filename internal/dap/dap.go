@@ -1,0 +1,101 @@
+// Package dap models the Device Access Port — the "two pin debug interface
+// which allows robust high-speed connection" through which the external
+// tool drains the EMEM trace buffer. Its defining property for the
+// methodology is that its bandwidth is fixed by the pin interface and
+// "does not scale with the CPU frequency" (paper Section 5): the DAP
+// drains a constant number of bytes per wall-clock second, which shrinks
+// relative to the CPU as the core clock rises.
+package dap
+
+import (
+	"repro/internal/emem"
+	"repro/internal/tmsg"
+)
+
+// Config describes the tool link.
+type Config struct {
+	// ClockMHz is the DAP interface clock (e.g. 40 MHz).
+	ClockMHz uint64
+	// BitsPerClock is the payload width per DAP clock (2 for the two-pin
+	// DAP, 1 for JTAG-class links).
+	BitsPerClock uint64
+	// Overhead is the protocol overhead fraction in percent (packetizing,
+	// turnaround); effective payload = raw * (100-Overhead)/100.
+	Overhead uint64
+	// CPUFreqMHz is the core clock the drain rate is expressed against.
+	CPUFreqMHz uint64
+}
+
+// DefaultConfig is a 40 MHz two-pin DAP with 20 % protocol overhead.
+func DefaultConfig(cpuMHz uint64) Config {
+	return Config{ClockMHz: 40, BitsPerClock: 2, Overhead: 20, CPUFreqMHz: cpuMHz}
+}
+
+// BytesPerSecond returns the effective payload bandwidth of the link.
+func (c Config) BytesPerSecond() uint64 {
+	raw := c.ClockMHz * 1_000_000 * c.BitsPerClock / 8
+	return raw * (100 - c.Overhead) / 100
+}
+
+// BytesPerMCycle returns the effective payload bytes the link moves per
+// one million CPU cycles.
+func (c Config) BytesPerMCycle() uint64 {
+	return c.BytesPerSecond() * 1_000_000 / (c.CPUFreqMHz * 1_000_000)
+	// == BytesPerSecond / CPUFreqMHz, kept explicit for readability.
+}
+
+// DAP drains the EMEM trace ring at the configured rate and accumulates
+// the bytes on the tool side.
+type DAP struct {
+	Cfg  Config
+	Emem *emem.EMEM
+
+	// Received is the tool-side byte stream (decode with tmsg.Decoder).
+	Received []byte
+
+	credit       uint64 // fixed-point byte credit, scaled by CPUFreq in Hz
+	TotalDrained uint64
+}
+
+// New creates a DAP draining e.
+func New(cfg Config, e *emem.EMEM) *DAP {
+	return &DAP{Cfg: cfg, Emem: e}
+}
+
+// Tick implements sim.Ticker: accumulate fractional byte credit per CPU
+// cycle and drain whole bytes.
+func (d *DAP) Tick(uint64) {
+	d.credit += d.Cfg.BytesPerSecond()
+	denom := d.Cfg.CPUFreqMHz * 1_000_000
+	n := d.credit / denom
+	if n == 0 {
+		return
+	}
+	d.credit -= n * denom
+	if d.Emem == nil {
+		return
+	}
+	b := d.Emem.Drain(uint32(n))
+	d.Received = append(d.Received, b...)
+	d.TotalDrained += uint64(len(b))
+}
+
+// DrainAll empties the remaining buffer content (end of measurement run,
+// when real time no longer matters).
+func (d *DAP) DrainAll() {
+	if d.Emem == nil {
+		return
+	}
+	for d.Emem.Level() > 0 {
+		b := d.Emem.Drain(d.Emem.Level())
+		d.Received = append(d.Received, b...)
+		d.TotalDrained += uint64(len(b))
+	}
+}
+
+// Decode parses every complete message received so far.
+func (d *DAP) Decode() ([]tmsg.Msg, error) {
+	var dec tmsg.Decoder
+	msgs, _, err := dec.DecodeAll(d.Received)
+	return msgs, err
+}

@@ -1,0 +1,78 @@
+package dap
+
+import (
+	"testing"
+
+	"repro/internal/emem"
+	"repro/internal/sim"
+	"repro/internal/tmsg"
+)
+
+func TestBandwidthArithmetic(t *testing.T) {
+	cfg := Config{ClockMHz: 40, BitsPerClock: 2, Overhead: 20, CPUFreqMHz: 180}
+	// 40e6 * 2 / 8 = 10 MB/s raw; 8 MB/s after 20% overhead.
+	if got := cfg.BytesPerSecond(); got != 8_000_000 {
+		t.Errorf("BytesPerSecond = %d", got)
+	}
+	// 8e6 / 180e6 cycles ≈ 0.044 B/cycle → 44444 bytes per MCycle.
+	if got := cfg.BytesPerMCycle(); got != 44444 {
+		t.Errorf("BytesPerMCycle = %d", got)
+	}
+}
+
+func TestBandwidthDoesNotScaleWithCPU(t *testing.T) {
+	// The paper's core constraint: the link is fixed; raising the CPU
+	// clock shrinks the per-cycle drain budget.
+	slow := DefaultConfig(90)
+	fast := DefaultConfig(360)
+	if slow.BytesPerSecond() != fast.BytesPerSecond() {
+		t.Error("absolute link bandwidth must be CPU-independent")
+	}
+	if fast.BytesPerMCycle() >= slow.BytesPerMCycle() {
+		t.Error("per-cycle budget must shrink with CPU frequency")
+	}
+}
+
+func TestDrainRate(t *testing.T) {
+	e := emem.New(4096, 0, 0)
+	e.AppendTrace(make([]byte, 4000))
+	cfg := Config{ClockMHz: 40, BitsPerClock: 2, Overhead: 0, CPUFreqMHz: 100}
+	// 10 MB/s at 100 MHz = 0.1 B/cycle.
+	d := New(cfg, e)
+	for cy := uint64(0); cy < 10_000; cy++ {
+		d.Tick(cy)
+	}
+	if d.TotalDrained < 990 || d.TotalDrained > 1010 {
+		t.Errorf("drained %d bytes in 10k cycles, want about 1000", d.TotalDrained)
+	}
+}
+
+func TestDrainAllAndDecode(t *testing.T) {
+	e := emem.New(4096, 0, 0)
+	var enc tmsg.Encoder
+	var buf []byte
+	msgs := []tmsg.Msg{
+		{Kind: tmsg.KindSync, Src: 0, Cycle: 10, PC: 0x100},
+		{Kind: tmsg.KindRate, Src: 0, Cycle: 20, CounterID: 1, Basis: 100, Count: 6},
+	}
+	for i := range msgs {
+		buf = enc.Encode(buf[:0], &msgs[i])
+		e.AppendTrace(buf)
+	}
+	d := New(DefaultConfig(180), e)
+	d.DrainAll()
+	out, err := d.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1].Count != 6 {
+		t.Errorf("decoded %+v", out)
+	}
+	if e.Level() != 0 {
+		t.Error("buffer not empty after DrainAll")
+	}
+}
+
+func TestTickerInterface(t *testing.T) {
+	var _ sim.Ticker = New(DefaultConfig(180), nil)
+}

@@ -1,0 +1,29 @@
+package flash
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+)
+
+func BenchmarkBufferHit(b *testing.B) {
+	f := New(DefaultConfig())
+	req := &bus.Request{Addr: 0x8000_0000, Data: make([]byte, 4)}
+	f.CodePort().Access(0, req)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.CodePort().Access(uint64(i)+100, req)
+	}
+}
+
+func BenchmarkSequentialFetchStream(b *testing.B) {
+	f := New(DefaultConfig())
+	req := &bus.Request{Addr: 0x8000_0000, Data: make([]byte, 8)}
+	now := uint64(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		req.Addr = 0x8000_0000 + uint32(i%(1<<18))*8
+		lat := f.CodePort().Access(now, req)
+		now += lat + 1
+	}
+}

@@ -1,0 +1,116 @@
+package irq
+
+import "testing"
+
+func TestPriorityArbitration(t *testing.T) {
+	r := New()
+	lo := r.AddSRN("lo", 2, ToCPU, 0x100)
+	hi := r.AddSRN("hi", 9, ToCPU, 0x200)
+	mid := r.AddSRN("mid", 5, ToCPU, 0x300)
+
+	r.Request(lo)
+	r.Request(hi)
+	r.Request(mid)
+
+	v := r.View(ToCPU)
+	prio, vec, ok := v.PendingIRQ(0)
+	if !ok || prio != 9 || vec != 0x200 {
+		t.Fatalf("got %d/%#x/%v, want 9/0x200/true", prio, vec, ok)
+	}
+	v.AckIRQ(9)
+	if hi.Pending() {
+		t.Error("hi still pending after ack")
+	}
+	prio, _, ok = v.PendingIRQ(0)
+	if !ok || prio != 5 {
+		t.Errorf("next = %d, want 5", prio)
+	}
+	// Floor masks lower priorities.
+	if _, _, ok := v.PendingIRQ(5); ok {
+		t.Error("floor 5 must mask prio 5 and below... prio 5 is not > 5")
+	}
+	if _, _, ok := v.PendingIRQ(4); !ok {
+		t.Error("floor 4 must expose prio 5")
+	}
+}
+
+func TestRequestCollapse(t *testing.T) {
+	r := New()
+	s := r.AddSRN("s", 1, ToCPU, 0)
+	r.Request(s)
+	r.Request(s)
+	r.Request(s)
+	if s.Requests != 3 || s.Lost != 2 {
+		t.Errorf("requests=%d lost=%d, want 3/2", s.Requests, s.Lost)
+	}
+	v := r.View(ToCPU)
+	v.AckIRQ(1)
+	if s.Services != 1 {
+		t.Errorf("services = %d, want 1", s.Services)
+	}
+	if _, _, ok := v.PendingIRQ(0); ok {
+		t.Error("collapsed requests must yield one service")
+	}
+}
+
+func TestProviderIsolation(t *testing.T) {
+	r := New()
+	cpu := r.AddSRN("c", 3, ToCPU, 0)
+	pcp := r.AddSRN("p", 3, ToPCP, 0) // same prio, different provider: allowed
+	r.Request(cpu)
+	r.Request(pcp)
+	if _, ok := r.TakePending(ToDMA); ok {
+		t.Error("DMA has no pending requests")
+	}
+	s, ok := r.TakePending(ToPCP)
+	if !ok || s != pcp {
+		t.Error("wrong PCP request")
+	}
+	if !cpu.Pending() {
+		t.Error("CPU request must be untouched")
+	}
+}
+
+func TestDuplicatePriorityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate priority must panic")
+		}
+	}()
+	r := New()
+	r.AddSRN("a", 1, ToCPU, 0)
+	r.AddSRN("b", 1, ToCPU, 0)
+}
+
+func TestDisabledSRNInvisible(t *testing.T) {
+	r := New()
+	s := r.AddSRN("s", 1, ToCPU, 0)
+	s.Enabled = false
+	r.Request(s)
+	if _, _, ok := r.View(ToCPU).PendingIRQ(0); ok {
+		t.Error("disabled SRN must not arbitrate")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := New()
+	s := r.AddSRN("a", 1, ToCPU, 0x10)
+	if len(r.SRNs()) != 1 || r.SRNs()[0] != s {
+		t.Error("SRNs accessor wrong")
+	}
+	if r.Counters() == nil {
+		t.Error("nil counters")
+	}
+	for p, want := range map[Provider]string{ToCPU: "cpu", ToPCP: "pcp",
+		ToDMA: "dma", ToCPU1: "cpu1", Provider(9): "provider-unknown"} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q", p, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("priority 0 must panic")
+		}
+	}()
+	r.AddSRN("zero", 0, ToCPU, 0)
+}

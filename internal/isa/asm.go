@@ -1,0 +1,320 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Asm is a programmatic assembler: workload generators and tests build
+// programs by calling mnemonic methods, placing labels, and finally calling
+// Assemble, which resolves label references and returns the instruction
+// words. Addresses are byte addresses; instructions are 4 bytes.
+type Asm struct {
+	base   uint32 // load address of the first instruction
+	words  []uint32
+	labels map[string]uint32 // label -> byte address
+	fixups []fixup
+	syms   []Symbol
+	errs   []error
+}
+
+type fixup struct {
+	index int    // instruction index needing patching
+	label string // target label
+	kind  byte   // 'b' = imm12 branch, 'j' = off24 jump
+}
+
+// Symbol is a named address in the assembled program, used by profiling to
+// map trace addresses back to functions.
+type Symbol struct {
+	Name string
+	Addr uint32
+}
+
+// NewAsm returns an assembler that places the first instruction at base.
+func NewAsm(base uint32) *Asm {
+	return &Asm{base: base, labels: make(map[string]uint32)}
+}
+
+// PC returns the byte address of the next instruction to be emitted.
+func (a *Asm) PC() uint32 { return a.base + uint32(len(a.words))*4 }
+
+// Label places (or re-places) a named label at the current PC. Labels
+// starting with a letter are also recorded as symbols.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup {
+		a.errs = append(a.errs, fmt.Errorf("duplicate label %q", name))
+		return a
+	}
+	a.labels[name] = a.PC()
+	a.syms = append(a.syms, Symbol{Name: name, Addr: a.PC()})
+	return a
+}
+
+func (a *Asm) emit(in Instr) *Asm {
+	a.words = append(a.words, in.Encode())
+	return a
+}
+
+func (a *Asm) emitFixup(in Instr, label string, kind byte) *Asm {
+	a.fixups = append(a.fixups, fixup{index: len(a.words), label: label, kind: kind})
+	a.words = append(a.words, in.Encode()) // placeholder offset 0
+	return a
+}
+
+// --- mnemonics ---
+
+// Nop emits a no-operation.
+func (a *Asm) Nop() *Asm { return a.emit(Instr{Op: OpNOP}) }
+
+// Movi emits rd = signext(imm16).
+func (a *Asm) Movi(rd int, imm int32) *Asm {
+	if imm < -(1<<15) || imm >= 1<<15 {
+		a.errs = append(a.errs, fmt.Errorf("movi imm out of range: %d", imm))
+		imm = 0
+	}
+	return a.emit(Instr{Op: OpMOVI, Rd: uint8(rd), Imm: imm})
+}
+
+// Movw emits one or two instructions loading the full 32-bit constant v
+// into rd (MOVH + ORIL, or a single MOVI when v fits).
+func (a *Asm) Movw(rd int, v uint32) *Asm {
+	if int32(v) >= -(1<<15) && int32(v) < 1<<15 {
+		return a.Movi(rd, int32(v))
+	}
+	a.emit(Instr{Op: OpMOVH, Rd: uint8(rd), Imm: int32(v >> 16)})
+	if low := v & 0xFFFF; low != 0 {
+		a.emit(Instr{Op: OpORIL, Rd: uint8(rd), Imm: int32(low)})
+	}
+	return a
+}
+
+// Op3 emits a three-register ALU instruction.
+func (a *Asm) Op3(op Op, rd, ra, rb int) *Asm {
+	return a.emit(Instr{Op: op, Rd: uint8(rd), Ra: uint8(ra), Rb: uint8(rb)})
+}
+
+// Add emits rd = ra + rb.
+func (a *Asm) Add(rd, ra, rb int) *Asm { return a.Op3(OpADD, rd, ra, rb) }
+
+// Sub emits rd = ra - rb.
+func (a *Asm) Sub(rd, ra, rb int) *Asm { return a.Op3(OpSUB, rd, ra, rb) }
+
+// Mul emits rd = ra * rb.
+func (a *Asm) Mul(rd, ra, rb int) *Asm { return a.Op3(OpMUL, rd, ra, rb) }
+
+// Mac emits rd += ra * rb.
+func (a *Asm) Mac(rd, ra, rb int) *Asm { return a.Op3(OpMAC, rd, ra, rb) }
+
+// And emits rd = ra & rb.
+func (a *Asm) And(rd, ra, rb int) *Asm { return a.Op3(OpAND, rd, ra, rb) }
+
+// Or emits rd = ra | rb.
+func (a *Asm) Or(rd, ra, rb int) *Asm { return a.Op3(OpOR, rd, ra, rb) }
+
+// Xor emits rd = ra ^ rb.
+func (a *Asm) Xor(rd, ra, rb int) *Asm { return a.Op3(OpXOR, rd, ra, rb) }
+
+// Shl emits rd = ra << rb.
+func (a *Asm) Shl(rd, ra, rb int) *Asm { return a.Op3(OpSHL, rd, ra, rb) }
+
+// Shr emits rd = ra >> rb (logical).
+func (a *Asm) Shr(rd, ra, rb int) *Asm { return a.Op3(OpSHR, rd, ra, rb) }
+
+// Sra emits rd = ra >> rb (arithmetic).
+func (a *Asm) Sra(rd, ra, rb int) *Asm { return a.Op3(OpSRA, rd, ra, rb) }
+
+// Slt emits rd = int32(ra) < int32(rb).
+func (a *Asm) Slt(rd, ra, rb int) *Asm { return a.Op3(OpSLT, rd, ra, rb) }
+
+// OpI emits an immediate ALU instruction.
+func (a *Asm) OpI(op Op, rd, ra int, imm int32) *Asm {
+	lo, hi := int32(-(1 << 11)), int32(1<<12-1)
+	switch op {
+	case OpADDI, OpSLTI:
+		hi = 1<<11 - 1
+	}
+	if imm < lo || imm > hi {
+		a.errs = append(a.errs, fmt.Errorf("%s imm out of range: %d", op, imm))
+		imm = 0
+	}
+	return a.emit(Instr{Op: op, Rd: uint8(rd), Ra: uint8(ra), Imm: imm})
+}
+
+// Addi emits rd = ra + imm.
+func (a *Asm) Addi(rd, ra int, imm int32) *Asm { return a.OpI(OpADDI, rd, ra, imm) }
+
+// Andi emits rd = ra & imm (imm zero-extended).
+func (a *Asm) Andi(rd, ra int, imm int32) *Asm { return a.OpI(OpANDI, rd, ra, imm) }
+
+// Ori emits rd = ra | imm (imm zero-extended).
+func (a *Asm) Ori(rd, ra int, imm int32) *Asm { return a.OpI(OpORI, rd, ra, imm) }
+
+// Xori emits rd = ra ^ imm (imm zero-extended).
+func (a *Asm) Xori(rd, ra int, imm int32) *Asm { return a.OpI(OpXORI, rd, ra, imm) }
+
+// Shli emits rd = ra << imm.
+func (a *Asm) Shli(rd, ra int, imm int32) *Asm { return a.OpI(OpSHLI, rd, ra, imm) }
+
+// Shri emits rd = ra >> imm (logical).
+func (a *Asm) Shri(rd, ra int, imm int32) *Asm { return a.OpI(OpSHRI, rd, ra, imm) }
+
+// Slti emits rd = int32(ra) < imm.
+func (a *Asm) Slti(rd, ra int, imm int32) *Asm { return a.OpI(OpSLTI, rd, ra, imm) }
+
+// Ldw emits rd = mem32[ra+off].
+func (a *Asm) Ldw(rd, ra int, off int32) *Asm {
+	return a.emit(Instr{Op: OpLDW, Rd: uint8(rd), Ra: uint8(ra), Imm: off})
+}
+
+// Ldb emits rd = zeroext(mem8[ra+off]).
+func (a *Asm) Ldb(rd, ra int, off int32) *Asm {
+	return a.emit(Instr{Op: OpLDB, Rd: uint8(rd), Ra: uint8(ra), Imm: off})
+}
+
+// Stw emits mem32[ra+off] = rd.
+func (a *Asm) Stw(rd, ra int, off int32) *Asm {
+	return a.emit(Instr{Op: OpSTW, Rd: uint8(rd), Ra: uint8(ra), Imm: off})
+}
+
+// Stb emits mem8[ra+off] = rd.
+func (a *Asm) Stb(rd, ra int, off int32) *Asm {
+	return a.emit(Instr{Op: OpSTB, Rd: uint8(rd), Ra: uint8(ra), Imm: off})
+}
+
+// Lea emits rd = ra + off.
+func (a *Asm) Lea(rd, ra int, off int32) *Asm {
+	return a.emit(Instr{Op: OpLEA, Rd: uint8(rd), Ra: uint8(ra), Imm: off})
+}
+
+// Br emits a conditional branch to a label.
+func (a *Asm) Br(op Op, ra, rb int, label string) *Asm {
+	return a.emitFixup(Instr{Op: op, Ra: uint8(ra), Rb: uint8(rb)}, label, 'b')
+}
+
+// Beq branches to label when ra == rb.
+func (a *Asm) Beq(ra, rb int, label string) *Asm { return a.Br(OpBEQ, ra, rb, label) }
+
+// Bne branches to label when ra != rb.
+func (a *Asm) Bne(ra, rb int, label string) *Asm { return a.Br(OpBNE, ra, rb, label) }
+
+// Blt branches to label when int32(ra) < int32(rb).
+func (a *Asm) Blt(ra, rb int, label string) *Asm { return a.Br(OpBLT, ra, rb, label) }
+
+// Bge branches to label when int32(ra) >= int32(rb).
+func (a *Asm) Bge(ra, rb int, label string) *Asm { return a.Br(OpBGE, ra, rb, label) }
+
+// Bltu branches to label when ra < rb (unsigned).
+func (a *Asm) Bltu(ra, rb int, label string) *Asm { return a.Br(OpBLTU, ra, rb, label) }
+
+// Bgeu branches to label when ra >= rb (unsigned).
+func (a *Asm) Bgeu(ra, rb int, label string) *Asm { return a.Br(OpBGEU, ra, rb, label) }
+
+// J emits an unconditional jump to a label.
+func (a *Asm) J(label string) *Asm {
+	return a.emitFixup(Instr{Op: OpJ}, label, 'j')
+}
+
+// Call emits a call (link in R14) to a label.
+func (a *Asm) Call(label string) *Asm {
+	return a.emitFixup(Instr{Op: OpCALL}, label, 'j')
+}
+
+// Jr emits pc = ra.
+func (a *Asm) Jr(ra int) *Asm { return a.emit(Instr{Op: OpJR, Ra: uint8(ra)}) }
+
+// Ret emits a return (jr R14).
+func (a *Asm) Ret() *Asm { return a.Jr(RegLink) }
+
+// Loop emits a hardware-loop branch: if --ra != 0 jump to label.
+func (a *Asm) Loop(ra int, label string) *Asm {
+	return a.emitFixup(Instr{Op: OpLOOP, Ra: uint8(ra)}, label, 'b')
+}
+
+// Mfcr emits rd = csr[n].
+func (a *Asm) Mfcr(rd, n int) *Asm {
+	return a.emit(Instr{Op: OpMFCR, Rd: uint8(rd), Imm: int32(n)})
+}
+
+// Mtcr emits csr[n] = ra.
+func (a *Asm) Mtcr(n, ra int) *Asm {
+	return a.emit(Instr{Op: OpMTCR, Ra: uint8(ra), Imm: int32(n)})
+}
+
+// Rfe emits a return from exception.
+func (a *Asm) Rfe() *Asm { return a.emit(Instr{Op: OpRFE}) }
+
+// Halt stops the core.
+func (a *Asm) Halt() *Asm { return a.emit(Instr{Op: OpHALT}) }
+
+// Dbg emits the debug-marker no-op.
+func (a *Asm) Dbg() *Asm { return a.emit(Instr{Op: OpDBG}) }
+
+// Program is an assembled instruction stream plus its symbol table.
+type Program struct {
+	Base  uint32
+	Words []uint32
+	Syms  []Symbol
+}
+
+// Bytes returns the little-endian byte image of the program.
+func (p *Program) Bytes() []byte {
+	b := make([]byte, len(p.Words)*4)
+	for i, w := range p.Words {
+		b[i*4+0] = byte(w)
+		b[i*4+1] = byte(w >> 8)
+		b[i*4+2] = byte(w >> 16)
+		b[i*4+3] = byte(w >> 24)
+	}
+	return b
+}
+
+// Size returns the program size in bytes.
+func (p *Program) Size() uint32 { return uint32(len(p.Words)) * 4 }
+
+// SymbolAt returns the name of the innermost symbol covering byte address
+// addr, or "" when addr precedes all symbols.
+func (p *Program) SymbolAt(addr uint32) string {
+	i := sort.Search(len(p.Syms), func(i int) bool { return p.Syms[i].Addr > addr })
+	if i == 0 {
+		return ""
+	}
+	return p.Syms[i-1].Name
+}
+
+// Assemble resolves all label references and returns the finished program.
+// Symbols are returned sorted by address.
+func (a *Asm) Assemble() (*Program, error) {
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			a.errs = append(a.errs, fmt.Errorf("undefined label %q", f.label))
+			continue
+		}
+		pc := a.base + uint32(f.index)*4
+		off := (int64(target) - int64(pc)) / 4
+		in := Decode(a.words[f.index])
+		switch f.kind {
+		case 'b':
+			if off < -(1<<11) || off >= 1<<11 {
+				a.errs = append(a.errs, fmt.Errorf("branch to %q out of imm12 range (%d words)", f.label, off))
+				continue
+			}
+			in.Imm = int32(off)
+		case 'j':
+			if off < -(1<<23) || off >= 1<<23 {
+				a.errs = append(a.errs, fmt.Errorf("jump to %q out of off24 range (%d words)", f.label, off))
+				continue
+			}
+			in.Off24 = int32(off)
+		}
+		a.words[f.index] = in.Encode()
+	}
+	if len(a.errs) > 0 {
+		return nil, fmt.Errorf("assemble: %d errors, first: %w", len(a.errs), a.errs[0])
+	}
+	syms := make([]Symbol, len(a.syms))
+	copy(syms, a.syms)
+	sort.Slice(syms, func(i, j int) bool { return syms[i].Addr < syms[j].Addr })
+	return &Program{Base: a.base, Words: append([]uint32(nil), a.words...), Syms: syms}, nil
+}

@@ -1,0 +1,109 @@
+package isa
+
+import "fmt"
+
+// Instr is a decoded instruction. Decode and Encode round-trip exactly for
+// every value an assembler can legally produce.
+type Instr struct {
+	Op    Op
+	Rd    uint8 // destination register (also source for STW/STB/MAC/ORIL)
+	Ra    uint8 // first source register
+	Rb    uint8 // second source register
+	Imm   int32 // sign- or zero-extended immediate, per opcode
+	Off24 int32 // signed word offset for J/CALL
+}
+
+// Encode packs the instruction into its 32-bit representation. It panics on
+// out-of-range fields; the assembler validates ranges with errors before
+// calling Encode.
+func (in Instr) Encode() uint32 {
+	w := uint32(in.Op) << 24
+	switch {
+	case in.Op.IsJump24():
+		if in.Off24 < -(1<<23) || in.Off24 >= 1<<23 {
+			panic(fmt.Sprintf("isa: off24 out of range: %d", in.Off24))
+		}
+		return w | uint32(in.Off24)&0xFFFFFF
+	case in.Op.IsWide():
+		if in.Imm < -(1<<15) || in.Imm >= 1<<16 {
+			panic(fmt.Sprintf("isa: imm16 out of range: %d", in.Imm))
+		}
+		return w | uint32(in.Rd&0xF)<<20 | uint32(in.Imm)&0xFFFF
+	default:
+		if in.Imm < -(1<<11) || in.Imm >= 1<<12 {
+			panic(fmt.Sprintf("isa: imm12 out of range for %s: %d", in.Op, in.Imm))
+		}
+		return w | uint32(in.Rd&0xF)<<20 | uint32(in.Ra&0xF)<<16 |
+			uint32(in.Rb&0xF)<<12 | uint32(in.Imm)&0xFFF
+	}
+}
+
+// signed-extension helpers for decode
+func sext(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// Decode unpacks a 32-bit instruction word. Unknown opcodes decode to an
+// Instr whose Op is out of range; callers detect this with Op.Valid().
+func Decode(w uint32) Instr {
+	op := Op(w >> 24)
+	in := Instr{Op: op}
+	switch {
+	case op.IsJump24():
+		in.Off24 = sext(w&0xFFFFFF, 24)
+	case op.IsWide():
+		in.Rd = uint8(w >> 20 & 0xF)
+		// MOVI sign-extends; MOVH and ORIL treat the field as raw 16 bits.
+		if op == OpMOVI {
+			in.Imm = sext(w&0xFFFF, 16)
+		} else {
+			in.Imm = int32(w & 0xFFFF)
+		}
+	default:
+		in.Rd = uint8(w >> 20 & 0xF)
+		in.Ra = uint8(w >> 16 & 0xF)
+		in.Rb = uint8(w >> 12 & 0xF)
+		switch op {
+		case OpANDI, OpORI, OpXORI, OpSHLI, OpSHRI, OpMFCR, OpMTCR:
+			in.Imm = int32(w & 0xFFF) // zero-extended forms
+		default:
+			in.Imm = sext(w&0xFFF, 12)
+		}
+	}
+	return in
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	op := in.Op
+	switch {
+	case !op.Valid():
+		return fmt.Sprintf(".word 0x%02x??", uint8(op))
+	case op == OpNOP || op == OpRFE || op == OpHALT || op == OpDBG:
+		return op.String()
+	case op.IsJump24():
+		return fmt.Sprintf("%s %+d", op, in.Off24)
+	case op.IsWide():
+		return fmt.Sprintf("%s r%d, %d", op, in.Rd, in.Imm)
+	case op == OpJR:
+		return fmt.Sprintf("jr r%d", in.Ra)
+	case op == OpLOOP:
+		return fmt.Sprintf("loop r%d, %+d", in.Ra, in.Imm)
+	case op.IsLoad() || op == OpLEA:
+		return fmt.Sprintf("%s r%d, [r%d%+d]", op, in.Rd, in.Ra, in.Imm)
+	case op.IsStore():
+		return fmt.Sprintf("%s [r%d%+d], r%d", op, in.Ra, in.Imm, in.Rd)
+	case op == OpMFCR:
+		return fmt.Sprintf("mfcr r%d, csr%d", in.Rd, in.Imm)
+	case op == OpMTCR:
+		return fmt.Sprintf("mtcr csr%d, r%d", in.Imm, in.Ra)
+	case op.IsBranch():
+		return fmt.Sprintf("%s r%d, r%d, %+d", op, in.Ra, in.Rb, in.Imm)
+	case op == OpADDI || op == OpANDI || op == OpORI || op == OpXORI ||
+		op == OpSHLI || op == OpSHRI || op == OpSLTI:
+		return fmt.Sprintf("%s r%d, r%d, %d", op, in.Rd, in.Ra, in.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", op, in.Rd, in.Ra, in.Rb)
+	}
+}

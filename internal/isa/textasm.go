@@ -1,0 +1,432 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseAsm assembles text assembly into a program. The syntax is exactly
+// what Instr.String and the disassembler produce, plus labels and
+// directives:
+//
+//	; comment        # comment
+//	start:                     ; label definition
+//	    movi r1, 10
+//	    movh r2, 0x1234
+//	    add  r3, r1, r2
+//	    ldw  r4, [r3+8]
+//	    stw  [r3+8], r4
+//	    beq  r1, r2, start     ; label or numeric word offset (+3 / -3)
+//	    loop r5, start
+//	    j    start
+//	    mfcr r1, csr0
+//	    mtcr csr0, r1
+//	    .org  0x80000000       ; load address (before any instruction)
+//	    .word 0xDEADBEEF       ; raw data word
+//
+// base is used when no .org directive appears.
+func ParseAsm(src string, base uint32) (*Program, error) {
+	var a *Asm
+	ensure := func() *Asm {
+		if a == nil {
+			a = NewAsm(base)
+		}
+		return a
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			if i := strings.Index(line, ":"); i >= 0 && isIdent(line[:i]) {
+				ensure().Label(line[:i])
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		if err := parseLine(ensure, line, &base); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+	}
+	if a == nil {
+		a = NewAsm(base)
+	}
+	return a.Assemble()
+}
+
+func stripComment(s string) string {
+	for _, c := range []string{";", "#", "//"} {
+		if i := strings.Index(s, c); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseLine assembles one mnemonic line.
+func parseLine(ensure func() *Asm, line string, base *uint32) error {
+	mn, rest, _ := strings.Cut(line, " ")
+	mn = strings.ToLower(strings.TrimSpace(mn))
+	args := splitArgs(rest)
+
+	switch mn {
+	case ".org":
+		if len(args) != 1 {
+			return fmt.Errorf(".org needs one operand")
+		}
+		v, err := num(args[0])
+		if err != nil {
+			return err
+		}
+		*base = uint32(v)
+		a := ensure()
+		if a.PC() != a.base {
+			return fmt.Errorf(".org after instructions")
+		}
+		a.base = uint32(v)
+		return nil
+	case ".word":
+		if len(args) != 1 {
+			return fmt.Errorf(".word needs one operand")
+		}
+		v, err := num(args[0])
+		if err != nil {
+			return err
+		}
+		a := ensure()
+		a.words = append(a.words, uint32(v))
+		return nil
+	}
+
+	a := ensure()
+	switch mn {
+	case "nop":
+		a.Nop()
+	case "rfe":
+		a.Rfe()
+	case "halt":
+		a.Halt()
+	case "dbg":
+		a.Dbg()
+
+	case "movi", "movh", "oril":
+		rd, err := regArg(args, 0)
+		if err != nil {
+			return err
+		}
+		v, err := numArg(args, 1)
+		if err != nil {
+			return err
+		}
+		switch mn {
+		case "movi":
+			a.Movi(rd, int32(v))
+		case "movh":
+			a.emit(Instr{Op: OpMOVH, Rd: uint8(rd), Imm: int32(v & 0xFFFF)})
+		case "oril":
+			a.emit(Instr{Op: OpORIL, Rd: uint8(rd), Imm: int32(v & 0xFFFF)})
+		}
+	case "movw": // pseudo: load full 32-bit constant
+		rd, err := regArg(args, 0)
+		if err != nil {
+			return err
+		}
+		v, err := numArg(args, 1)
+		if err != nil {
+			return err
+		}
+		a.Movw(rd, uint32(v))
+
+	case "add", "sub", "and", "or", "xor", "shl", "shr", "sra", "mul", "mac", "slt", "sltu":
+		rd, err := regArg(args, 0)
+		if err != nil {
+			return err
+		}
+		ra, err := regArg(args, 1)
+		if err != nil {
+			return err
+		}
+		rb, err := regArg(args, 2)
+		if err != nil {
+			return err
+		}
+		ops := map[string]Op{"add": OpADD, "sub": OpSUB, "and": OpAND, "or": OpOR,
+			"xor": OpXOR, "shl": OpSHL, "shr": OpSHR, "sra": OpSRA,
+			"mul": OpMUL, "mac": OpMAC, "slt": OpSLT, "sltu": OpSLTU}
+		a.Op3(ops[mn], rd, ra, rb)
+
+	case "addi", "andi", "ori", "xori", "shli", "shri", "slti":
+		rd, err := regArg(args, 0)
+		if err != nil {
+			return err
+		}
+		ra, err := regArg(args, 1)
+		if err != nil {
+			return err
+		}
+		v, err := numArg(args, 2)
+		if err != nil {
+			return err
+		}
+		ops := map[string]Op{"addi": OpADDI, "andi": OpANDI, "ori": OpORI,
+			"xori": OpXORI, "shli": OpSHLI, "shri": OpSHRI, "slti": OpSLTI}
+		a.OpI(ops[mn], rd, ra, int32(v))
+
+	case "ldw", "ldb", "lea":
+		rd, err := regArg(args, 0)
+		if err != nil {
+			return err
+		}
+		ra, off, err := memArg(args, 1)
+		if err != nil {
+			return err
+		}
+		switch mn {
+		case "ldw":
+			a.Ldw(rd, ra, off)
+		case "ldb":
+			a.Ldb(rd, ra, off)
+		case "lea":
+			a.Lea(rd, ra, off)
+		}
+
+	case "stw", "stb":
+		ra, off, err := memArg(args, 0)
+		if err != nil {
+			return err
+		}
+		rd, err := regArg(args, 1)
+		if err != nil {
+			return err
+		}
+		if mn == "stw" {
+			a.Stw(rd, ra, off)
+		} else {
+			a.Stb(rd, ra, off)
+		}
+
+	case "beq", "bne", "blt", "bge", "bltu", "bgeu":
+		ra, err := regArg(args, 0)
+		if err != nil {
+			return err
+		}
+		rb, err := regArg(args, 1)
+		if err != nil {
+			return err
+		}
+		ops := map[string]Op{"beq": OpBEQ, "bne": OpBNE, "blt": OpBLT,
+			"bge": OpBGE, "bltu": OpBLTU, "bgeu": OpBGEU}
+		return branchTarget(a, args, 2, func(label string) {
+			a.Br(ops[mn], ra, rb, label)
+		}, func(off int32) {
+			a.emit(Instr{Op: ops[mn], Ra: uint8(ra), Rb: uint8(rb), Imm: off})
+		})
+
+	case "loop":
+		ra, err := regArg(args, 0)
+		if err != nil {
+			return err
+		}
+		return branchTarget(a, args, 1, func(label string) {
+			a.Loop(ra, label)
+		}, func(off int32) {
+			a.emit(Instr{Op: OpLOOP, Ra: uint8(ra), Imm: off})
+		})
+
+	case "j", "call":
+		op := OpJ
+		emitL := a.J
+		if mn == "call" {
+			op = OpCALL
+			emitL = a.Call
+		}
+		return branchTarget(a, args, 0, func(label string) {
+			emitL(label)
+		}, func(off int32) {
+			a.emit(Instr{Op: op, Off24: off})
+		})
+
+	case "jr":
+		ra, err := regArg(args, 0)
+		if err != nil {
+			return err
+		}
+		a.Jr(ra)
+	case "ret":
+		a.Ret()
+
+	case "mfcr":
+		rd, err := regArg(args, 0)
+		if err != nil {
+			return err
+		}
+		n, err := csrArg(args, 1)
+		if err != nil {
+			return err
+		}
+		a.Mfcr(rd, n)
+	case "mtcr":
+		n, err := csrArg(args, 0)
+		if err != nil {
+			return err
+		}
+		ra, err := regArg(args, 1)
+		if err != nil {
+			return err
+		}
+		a.Mtcr(n, ra)
+
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	return nil
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func num(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "+") {
+		s = s[1:]
+	} else if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 33)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	n := int64(v)
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+func regArg(args []string, i int) (int, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing operand %d", i+1)
+	}
+	s := strings.ToLower(args[i])
+	if s == "sp" {
+		return RegSP, nil
+	}
+	if s == "lr" {
+		return RegLink, nil
+	}
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", args[i])
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", args[i])
+	}
+	return n, nil
+}
+
+func numArg(args []string, i int) (int64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing operand %d", i+1)
+	}
+	return num(args[i])
+}
+
+func csrArg(args []string, i int) (int, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing operand %d", i+1)
+	}
+	s := strings.ToLower(args[i])
+	if !strings.HasPrefix(s, "csr") {
+		return 0, fmt.Errorf("bad csr %q", args[i])
+	}
+	n, err := strconv.Atoi(s[3:])
+	if err != nil || n < 0 || n >= NumCSRs {
+		return 0, fmt.Errorf("bad csr %q", args[i])
+	}
+	return n, nil
+}
+
+// memArg parses "[rA+off]", "[rA-off]" or "[rA]".
+func memArg(args []string, i int) (reg int, off int32, err error) {
+	if i >= len(args) {
+		return 0, 0, fmt.Errorf("missing operand %d", i+1)
+	}
+	s := strings.TrimSpace(args[i])
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	s = s[1 : len(s)-1]
+	sep := strings.IndexAny(s, "+-")
+	regStr, offStr := s, ""
+	if sep > 0 {
+		regStr, offStr = s[:sep], s[sep:]
+	}
+	reg, err = regArg([]string{strings.TrimSpace(regStr)}, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	if offStr != "" {
+		v, err := num(offStr)
+		if err != nil {
+			return 0, 0, err
+		}
+		off = int32(v)
+	}
+	return reg, off, nil
+}
+
+// branchTarget accepts either a label name or a signed numeric word offset.
+func branchTarget(a *Asm, args []string, i int, byLabel func(string), byOffset func(int32)) error {
+	if i >= len(args) {
+		return fmt.Errorf("missing branch target")
+	}
+	s := strings.TrimSpace(args[i])
+	if isIdent(s) {
+		byLabel(s)
+		return nil
+	}
+	v, err := num(s)
+	if err != nil {
+		return fmt.Errorf("bad branch target %q", s)
+	}
+	byOffset(int32(v))
+	return nil
+}

@@ -1,0 +1,180 @@
+package mcds
+
+import (
+	"fmt"
+
+	"repro/internal/tmsg"
+)
+
+// CounterMode selects what a counter structure does.
+type CounterMode uint8
+
+// Counter modes.
+const (
+	// ModeRate counts Src events against a Basis window of Resolution
+	// basis events. At each window end it can emit a rate trace message
+	// and/or compare the rate against a threshold, setting the Below or
+	// Above signal. This is the Enhanced System Profiling measurement
+	// element: "Every x clock cycles, the number of executed instructions
+	// is saved as a trace message ... where x is the resolution."
+	ModeRate CounterMode = iota
+	// ModeWatchdog fires the Above signal when Resolution basis events
+	// elapse without a single Src event — the paper's "trigger on events
+	// not happening in a defined time window".
+	ModeWatchdog
+)
+
+// Counter is one MCDS counter structure.
+type Counter struct {
+	Name string
+	ID   uint8 // counter id carried in rate messages
+	Mode CounterMode
+
+	Src   Tap // measured event
+	Basis Tap // resolution basis (EvInstrExecuted for event rates, EvCycle for IPC)
+
+	Resolution uint64 // basis events per window (must be > 0)
+
+	// Emit controls rate-message emission at window end (ModeRate).
+	Emit bool
+
+	// Threshold compares the window rate against Num/Den at window end:
+	// count*Den < basis*Num sets Below, otherwise Above (when the signals
+	// are allocated). Integer rational avoids floating point in the
+	// "hardware".
+	ThreshNum, ThreshDen uint64
+	Below, Above         Signal
+
+	// EmitTriggerOnFire emits a trigger message when the watchdog fires.
+	EmitTriggerOnFire bool
+	TriggerID         uint8
+
+	// Enabled gates the counter; trigger actions arm and disarm it (the
+	// cascade mechanism).
+	Enabled bool
+
+	// TrackExtremes records the highest and lowest completed-window rates
+	// in hardware capture registers (read back after the run without any
+	// trace bandwidth — the cheapest possible worst-case observation).
+	TrackExtremes bool
+	MaxCount      uint64 // count of the worst (highest-count) window
+	MaxBasis      uint64
+	MinCount      uint64 // count of the best (lowest-count) window
+	MinBasis      uint64
+	haveExtremes  bool
+
+	curCount uint64
+	curBasis uint64
+
+	// Statistics.
+	Windows  uint64
+	Fires    uint64 // watchdog firings / threshold-below windows
+	TotalSrc uint64
+}
+
+// NewRateCounter builds a rate counter measuring src per resolution basis
+// events, with rate-message emission enabled and no threshold signals.
+func NewRateCounter(name string, id uint8, src, basis Tap, resolution uint64) *Counter {
+	return &Counter{Name: name, ID: id, Mode: ModeRate, Src: src, Basis: basis,
+		Resolution: resolution, Emit: true, Below: NoSignal, Above: NoSignal,
+		Enabled: true}
+}
+
+// NewWatchdog builds a watchdog counter firing signal fire when window
+// cycles pass without a src event.
+func NewWatchdog(name string, id uint8, src Tap, window uint64, fire Signal) *Counter {
+	return &Counter{Name: name, ID: id, Mode: ModeWatchdog, Src: src,
+		Resolution: window, Below: NoSignal, Above: fire, Enabled: true}
+}
+
+// AddCounter registers a counter structure. Unused threshold signals must
+// be NoSignal (the constructors take care of this).
+func (m *MCDS) AddCounter(c *Counter) *Counter {
+	if c.Resolution == 0 {
+		panic(fmt.Sprintf("mcds: counter %s has zero resolution", c.Name))
+	}
+	if c.Src.Obs == nil {
+		panic(fmt.Sprintf("mcds: counter %s has no source tap", c.Name))
+	}
+	if c.Mode == ModeRate && c.Basis.Obs == nil {
+		panic(fmt.Sprintf("mcds: rate counter %s has no basis tap", c.Name))
+	}
+	m.counters = append(m.counters, c)
+	return c
+}
+
+// Reset clears the running window (used when a cascade re-arms a counter).
+func (c *Counter) Reset() {
+	c.curCount = 0
+	c.curBasis = 0
+}
+
+// updateExtremes folds the completed window into the min/max capture
+// registers (rate comparison via cross-multiplication: no floating point
+// in the "hardware").
+func (c *Counter) updateExtremes() {
+	if !c.haveExtremes {
+		c.MaxCount, c.MaxBasis = c.curCount, c.curBasis
+		c.MinCount, c.MinBasis = c.curCount, c.curBasis
+		c.haveExtremes = true
+		return
+	}
+	if c.curCount*c.MaxBasis > c.MaxCount*c.curBasis {
+		c.MaxCount, c.MaxBasis = c.curCount, c.curBasis
+	}
+	if c.curCount*c.MinBasis < c.MinCount*c.curBasis {
+		c.MinCount, c.MinBasis = c.curCount, c.curBasis
+	}
+}
+
+func (c *Counter) tick(m *MCDS, cycle uint64) {
+	if !c.Enabled {
+		return
+	}
+	src := c.Src.Obs.Delta(c.Src.Event)
+	c.TotalSrc += src
+
+	switch c.Mode {
+	case ModeRate:
+		c.curCount += src
+		c.curBasis += c.Basis.Obs.Delta(c.Basis.Event)
+		if c.curBasis >= c.Resolution {
+			c.Windows++
+			if c.TrackExtremes {
+				c.updateExtremes()
+			}
+			if c.Emit {
+				msg := tmsg.Msg{Kind: tmsg.KindRate, Src: c.Src.Obs.SrcID(),
+					Cycle: cycle, CounterID: c.ID, Basis: c.curBasis, Count: c.curCount}
+				m.emit(&msg)
+			}
+			if c.ThreshDen > 0 {
+				if c.curCount*c.ThreshDen < c.curBasis*c.ThreshNum {
+					m.set(c.Below)
+					c.Fires++
+				} else {
+					m.set(c.Above)
+				}
+			}
+			c.curCount = 0
+			c.curBasis = 0
+		}
+
+	case ModeWatchdog:
+		if src > 0 {
+			c.curBasis = 0
+			return
+		}
+		c.curBasis++
+		if c.curBasis >= c.Resolution {
+			c.Fires++
+			m.set(c.Above)
+			if c.EmitTriggerOnFire {
+				msg := tmsg.Msg{Kind: tmsg.KindTrigger, Src: c.Src.Obs.SrcID(),
+					Cycle: cycle, TriggerID: c.TriggerID}
+				m.emit(&msg)
+			}
+			c.curBasis = 0
+		}
+	}
+}

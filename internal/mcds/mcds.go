@@ -1,0 +1,321 @@
+// Package mcds implements the Multi-Core Debug Solution of the Emulation
+// Extension Chip: a configurable and scalable trigger, trace qualification
+// and trace compression block (paper Section 3). It observes the cores and
+// buses of the SoC non-intrusively, counts performance-relevant events,
+// evaluates Boolean trigger conditions, counters and state machines, and
+// writes compressed trace messages into the Emulation Memory.
+//
+// Structure, mirroring the paper's Figure 5:
+//
+//   - CoreObs   — per-core observation blocks (POB/MCX adaptation logic):
+//     tap the core's retire stream and event counters; generate program
+//     flow and data trace messages with cycle timestamps.
+//   - BusObs    — bus observation blocks (BOB/SBO): tap bus and flash
+//     event counters.
+//   - Counter   — counter structures measuring event rates against a
+//     configurable resolution basis (executed instructions or cycles),
+//     with optional rate-message emission, threshold signals, and a
+//     watchdog mode that fires when an event does NOT happen within a
+//     time window.
+//   - Comparator — PC / address / data comparators on the retire stream.
+//   - StateMachine / TriggerRule — Boolean expressions over the signal
+//     cross-connect (the MCX), driving actions such as arming counters or
+//     switching trace on and off.
+//
+// The MCDS ticks after every component it observes (the SoC registers it
+// later on the clock), so within one cycle it sees that cycle's complete
+// event deltas and retire log. It never feeds back into the target: the
+// instrumented system executes cycle-for-cycle identically with or
+// without the MCDS attached — the paper's non-intrusiveness property.
+package mcds
+
+import (
+	"fmt"
+
+	"repro/internal/emem"
+	"repro/internal/sim"
+	"repro/internal/tmsg"
+	"repro/internal/tricore"
+)
+
+// Observer is a tap that exposes per-cycle event deltas.
+type Observer interface {
+	// Delta returns how many events of class e occurred in the cycle
+	// currently being processed.
+	Delta(e sim.Event) uint64
+	// SrcID returns the trace source id of this observation block.
+	SrcID() uint8
+}
+
+// Tap selects one event class on one observation block.
+type Tap struct {
+	Obs   Observer
+	Event sim.Event
+}
+
+// MCDS is the assembled trigger/trace block.
+type MCDS struct {
+	Name string
+
+	// Sink is the trace destination (the EMEM trace partition). A nil
+	// sink discards bytes but still accounts them, which lets benchmarks
+	// measure pure bandwidth without a buffer model.
+	Sink *emem.EMEM
+
+	cores []*CoreObs
+	buses []*BusObs
+
+	counters []*Counter
+	comps    []*Comparator
+	sms      []*StateMachine
+	rules    []*TriggerRule
+
+	signals  []bool
+	sigNames []string
+
+	enc     tmsg.Encoder
+	scratch []byte
+
+	// SyncEvery emits a periodic re-anchor per flow-traced core every N
+	// cycles (0 = only when needed).
+	SyncEvery uint64
+
+	pendingLost uint64
+	needSync    [tmsg.MaxSources]bool
+
+	// Statistics.
+	MsgsEmitted  uint64
+	BytesEmitted uint64
+	MsgsLost     uint64
+}
+
+// New creates an empty MCDS writing to sink (which may be nil).
+func New(name string, sink *emem.EMEM) *MCDS {
+	return &MCDS{Name: name, Sink: sink, SyncEvery: 1 << 16}
+}
+
+// Signal is an index into the MCX signal cross-connect.
+type Signal int
+
+// NoSignal marks an unconnected signal input or output.
+const NoSignal Signal = -1
+
+// AllocSignal reserves a named signal line.
+func (m *MCDS) AllocSignal(name string) Signal {
+	m.signals = append(m.signals, false)
+	m.sigNames = append(m.sigNames, name)
+	return Signal(len(m.signals) - 1)
+}
+
+// SignalName returns the name of s.
+func (m *MCDS) SignalName(s Signal) string { return m.sigNames[s] }
+
+func (m *MCDS) set(s Signal) {
+	if s >= 0 {
+		m.signals[s] = true
+	}
+}
+
+// Tick implements sim.Ticker. Evaluation order within a cycle: observation
+// blocks (trace generation, comparators) → counters → state machines →
+// trigger rules.
+func (m *MCDS) Tick(cycle uint64) {
+	for i := range m.signals {
+		m.signals[i] = false
+	}
+	for _, c := range m.cores {
+		c.tick(m, cycle)
+	}
+	for _, b := range m.buses {
+		b.tick()
+	}
+	for _, c := range m.counters {
+		c.tick(m, cycle)
+	}
+	for _, s := range m.sms {
+		s.tick(m, cycle)
+	}
+	for _, r := range m.rules {
+		r.tick(m, cycle)
+	}
+}
+
+// emit encodes and stores one message, handling buffer overflow with the
+// overflow-marker + re-sync protocol: after a loss, the next successful
+// store is preceded by an Overflow message and per-source Sync re-anchors,
+// so the tool-side decoder never desynchronizes.
+func (m *MCDS) emit(msg *tmsg.Msg) {
+	if m.pendingLost > 0 && msg.Kind != tmsg.KindOverflow {
+		of := tmsg.Msg{Kind: tmsg.KindOverflow, Src: 0, Lost: m.pendingLost}
+		m.scratch = m.enc.Encode(m.scratch[:0], &of)
+		if m.Sink != nil && !m.Sink.AppendTrace(m.scratch) {
+			m.pendingLost++
+			m.MsgsLost++
+			return // still no room; drop the current message too
+		}
+		m.account()
+		m.pendingLost = 0
+	}
+	if m.needSync[msg.Src] && msg.Kind != tmsg.KindSync && msg.Kind != tmsg.KindOverflow {
+		// Re-anchor this source's delta state. Flow-traced cores emit
+		// their own PC-correct sync; this generic anchor restores the
+		// cycle base for counter/bus sources.
+		sy := tmsg.Msg{Kind: tmsg.KindSync, Src: msg.Src, Cycle: msg.Cycle, PC: 0}
+		if !m.store(&sy) {
+			m.MsgsLost++
+			m.pendingLost++
+			return
+		}
+		m.needSync[msg.Src] = false
+	}
+	if !m.store(msg) {
+		m.MsgsLost++
+		m.pendingLost++
+		for i := range m.needSync {
+			m.needSync[i] = true
+		}
+		return
+	}
+	if msg.Kind == tmsg.KindSync {
+		m.needSync[msg.Src] = false
+	}
+}
+
+// store encodes and appends one message, returning false on overflow.
+func (m *MCDS) store(msg *tmsg.Msg) bool {
+	m.scratch = m.enc.Encode(m.scratch[:0], msg)
+	if m.Sink != nil && !m.Sink.AppendTrace(m.scratch) {
+		return false
+	}
+	m.account()
+	return true
+}
+
+func (m *MCDS) account() {
+	m.MsgsEmitted++
+	m.BytesEmitted += uint64(len(m.scratch))
+}
+
+// CoreObs is the observation block of one core.
+type CoreObs struct {
+	id  uint8
+	cpu *tricore.CPU
+
+	prev  sim.Counters
+	delta sim.Counters
+
+	// FlowTrace emits program-flow messages; DataTrace emits data-access
+	// messages for addresses within [DataLo, DataHi) (a zero range traces
+	// every access). Both are trace-qualification switches the trigger
+	// actions can flip at run time.
+	FlowTrace bool
+	DataTrace bool
+	DataLo    uint32
+	DataHi    uint32
+
+	iSinceFlow uint64
+	needSync   bool
+	lastSync   uint64
+
+	retired []tricore.Retired
+}
+
+// AddCore attaches an observation block to cpu under trace source id src.
+// The core's retire log is enabled (observation is still non-intrusive:
+// the log is outside the timing model).
+func (m *MCDS) AddCore(cpu *tricore.CPU, src uint8) *CoreObs {
+	if src >= tmsg.MaxSources {
+		panic(fmt.Sprintf("mcds: source id %d out of range", src))
+	}
+	cpu.TraceEnabled = true
+	c := &CoreObs{id: src, cpu: cpu, prev: *cpu.Counters(), needSync: true}
+	m.cores = append(m.cores, c)
+	return c
+}
+
+// Delta implements Observer.
+func (c *CoreObs) Delta(e sim.Event) uint64 { return c.delta[e] }
+
+// SrcID implements Observer.
+func (c *CoreObs) SrcID() uint8 { return c.id }
+
+// CPU returns the observed core.
+func (c *CoreObs) CPU() *tricore.CPU { return c.cpu }
+
+func (c *CoreObs) tick(m *MCDS, cycle uint64) {
+	cur := c.cpu.Counters()
+	c.delta = cur.Delta(&c.prev)
+	c.prev = *cur
+	c.retired = c.cpu.DrainRetired()
+
+	if m.SyncEvery > 0 && cycle-c.lastSync >= m.SyncEvery {
+		c.needSync = true
+	}
+
+	for i := range c.retired {
+		re := &c.retired[i]
+		// Comparators bound to this core observe every retired
+		// instruction (evaluated below via matchRetired).
+		if c.FlowTrace {
+			if c.needSync || m.needSync[c.id] {
+				sy := tmsg.Msg{Kind: tmsg.KindSync, Src: c.id, Cycle: re.Cycle, PC: re.PC}
+				m.emit(&sy)
+				c.needSync = false
+				c.lastSync = cycle
+				c.iSinceFlow = 0
+			}
+			c.iSinceFlow++
+			if re.Taken {
+				fl := tmsg.Msg{Kind: tmsg.KindFlow, Src: c.id, Cycle: re.Cycle,
+					ICount: c.iSinceFlow, PC: re.Target}
+				m.emit(&fl)
+				c.iSinceFlow = 0
+			}
+		}
+		if c.DataTrace && re.HasMem {
+			if c.DataLo == 0 && c.DataHi == 0 || re.EA >= c.DataLo && re.EA < c.DataHi {
+				da := tmsg.Msg{Kind: tmsg.KindData, Src: c.id, Cycle: re.Cycle,
+					Addr: re.EA, Data: re.Data, Write: re.Write}
+				m.emit(&da)
+			}
+		}
+	}
+
+	// Comparators.
+	for _, cmp := range m.comps {
+		if cmp.Core == c {
+			cmp.eval(m, c.retired, cycle)
+		}
+	}
+}
+
+// BusObs is the observation block of a bus or another counter-bearing
+// component (flash, DMA): anything exposing a *sim.Counters.
+type BusObs struct {
+	id    uint8
+	ctrs  *sim.Counters
+	prev  sim.Counters
+	delta sim.Counters
+}
+
+// AddBus attaches a bus-style observation block reading ctrs under trace
+// source id src.
+func (m *MCDS) AddBus(ctrs *sim.Counters, src uint8) *BusObs {
+	if src >= tmsg.MaxSources {
+		panic(fmt.Sprintf("mcds: source id %d out of range", src))
+	}
+	b := &BusObs{id: src, ctrs: ctrs, prev: *ctrs}
+	m.buses = append(m.buses, b)
+	return b
+}
+
+// Delta implements Observer.
+func (b *BusObs) Delta(e sim.Event) uint64 { return b.delta[e] }
+
+// SrcID implements Observer.
+func (b *BusObs) SrcID() uint8 { return b.id }
+
+func (b *BusObs) tick() {
+	b.delta = b.ctrs.Delta(&b.prev)
+	b.prev = *b.ctrs
+}

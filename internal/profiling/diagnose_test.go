@@ -1,0 +1,157 @@
+package profiling
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/soc"
+)
+
+// TestDiagnoseBlamesTheRightParameter builds a program whose IPC collapses
+// in phases dominated by data-flash reads (dependent uncached-table loads)
+// and checks that the diagnosis ranks the data-side parameters on top —
+// the paper's "high cache miss rate? Which cache?" drill-down.
+func TestDiagnoseBlamesTheRightParameter(t *testing.T) {
+	cfg := soc.TC1797().WithED()
+	cfg.DCache = nil // flash reads visibly reach the flash
+	s := soc.New(cfg, 3)
+
+	a := isa.NewAsm(mem.FlashBase)
+	a.Movw(1, mem.DSPRBase)
+	a.Movw(7, mem.FlashBase+0x20000)
+	a.Movw(9, 40) // phases
+	a.Label("phase")
+	a.Movw(3, 3000)
+	a.Label("fast")
+	a.Addi(2, 2, 1)
+	a.Stw(2, 1, 0)
+	a.Loop(3, "fast")
+	a.Movw(4, 150)
+	a.Label("slow")
+	a.Ldw(5, 7, 0) // data flash read
+	a.Add(6, 5, 6) // dependent
+	a.Mul(6, 6, 5)
+	a.Addi(7, 7, 32)
+	a.Loop(4, "slow")
+	a.Loop(9, "phase")
+	a.Halt()
+	p, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LoadProgram(p)
+	s.ResetCPU(p.Base)
+
+	sess := NewSession(s, Spec{Resolution: 300, Params: StandardParams()})
+	if _, ok := s.RunUntilHalt(50_000_000); !ok {
+		t.Fatal("did not halt")
+	}
+	s.Clock.Step()
+	prof, err := sess.Result("diag")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags := prof.Diagnose("ipc", 0.9)
+	if len(diags) < 10 {
+		t.Fatalf("only %d degraded windows diagnosed", len(diags))
+	}
+	suspects := TopSuspects(diags, 3)
+	if len(suspects) == 0 {
+		t.Fatal("no suspects")
+	}
+	// The top suspects must include the data-side parameters, not the
+	// instruction side.
+	top3 := map[string]bool{}
+	for i, sp := range suspects {
+		if i >= 3 {
+			break
+		}
+		top3[sp.Name] = true
+	}
+	if !top3["dflash_read"] && !top3["stall_data"] {
+		t.Errorf("data-side parameters not among top suspects: %v", suspects[:3])
+	}
+	if top3["interrupt"] {
+		t.Error("interrupt load wrongly blamed (no ISRs in this program)")
+	}
+	// Per-window factors must be sorted by excess.
+	for _, dgn := range diags[:5] {
+		for i := 1; i < len(dgn.Factors); i++ {
+			if dgn.Factors[i].Excess > dgn.Factors[i-1].Excess {
+				t.Fatal("factors not sorted")
+			}
+		}
+	}
+	if s := diags[0].Factors[0].String(); s == "" {
+		t.Error("empty factor rendering")
+	}
+}
+
+// TestDiagnoseSeriesHelpers covers stats and window lookup.
+func TestDiagnoseSeriesHelpers(t *testing.T) {
+	se := &Series{Param: "x", Samples: []Sample{
+		{Cycle: 100, Basis: 100, Count: 10},
+		{Cycle: 200, Basis: 100, Count: 20},
+		{Cycle: 300, Basis: 100, Count: 30},
+	}}
+	mean, sd := se.stats()
+	if mean < 0.199 || mean > 0.201 {
+		t.Errorf("mean = %v", mean)
+	}
+	if sd <= 0 {
+		t.Errorf("sd = %v", sd)
+	}
+	if s, ok := se.at(150); !ok || s.Cycle != 200 {
+		t.Errorf("at(150) = %+v %v", s, ok)
+	}
+	if s, ok := se.at(300); !ok || s.Cycle != 300 {
+		t.Errorf("at(300) = %+v %v", s, ok)
+	}
+	if _, ok := se.at(301); ok {
+		t.Error("at beyond end must fail")
+	}
+	var empty Series
+	if m, s := empty.stats(); m != 0 || s != 0 {
+		t.Error("empty stats")
+	}
+}
+
+func TestDiagnoseUnknownParam(t *testing.T) {
+	p := &Profile{Series: map[string]*Series{}}
+	if d := p.Diagnose("nope", 1); d != nil {
+		t.Error("unknown parameter must yield nil")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	se := &Series{Param: "x"}
+	for i := 0; i < 100; i++ {
+		c := uint64(10)
+		if i >= 50 {
+			c = 90
+		}
+		se.Samples = append(se.Samples, Sample{Cycle: uint64(i * 100), Basis: 100, Count: c})
+	}
+	sp := []rune(se.Sparkline(10))
+	if len(sp) != 10 {
+		t.Fatalf("width = %d", len(sp))
+	}
+	// Low half must render lower glyphs than the high half.
+	if sp[0] >= sp[9] {
+		t.Errorf("sparkline shape wrong: %q", string(sp))
+	}
+	if se.Sparkline(0) != "" {
+		t.Error("zero width must be empty")
+	}
+	var empty Series
+	if empty.Sparkline(10) != "" {
+		t.Error("empty series must be empty")
+	}
+	// Flat series renders without panicking.
+	flat := &Series{Samples: []Sample{{Basis: 1, Count: 1}, {Basis: 1, Count: 1}}}
+	if len([]rune(flat.Sparkline(2))) != 2 {
+		t.Error("flat series wrong width")
+	}
+}

@@ -1,0 +1,106 @@
+package profiling
+
+import (
+	"testing"
+
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+// TestDualCoreProfiling runs two different customer applications on the
+// two TriCore cores of one device and profiles both in parallel through
+// the single MCDS — the "number of cores" scaling of the paper's
+// conclusion, at full workload fidelity.
+func TestDualCoreProfiling(t *testing.T) {
+	cfg := soc.TC1797().WithED()
+	cfg.SecondCore = true
+	s := soc.New(cfg, 21)
+
+	app0, err := workload.Build(s, workload.Spec{
+		Name: "engine", Seed: 21, CodeKB: 16, TableKB: 16, FilterTaps: 12,
+		DiagBranches: 8, ADCPeriod: 2500, TimerPeriod: 9000, CANMeanGap: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app1, err := workload.Build(s, workload.Spec{
+		Name: "gearbox", Seed: 22, CodeKB: 8, TableKB: 32, FilterTaps: 24,
+		DiagBranches: 16, ADCPeriod: 3000, TimerPeriod: 11000, CANMeanGap: 7000,
+		CoreIndex: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	params := append(StandardParams(), CPU1Params()...)
+	sess := NewSession(s, Spec{Resolution: 800, Params: params})
+
+	app0.RunFor(400_000) // advances the shared clock; both cores run
+	if app1.CPU().Halted() {
+		t.Fatal("core1 app halted")
+	}
+
+	prof, err := sess.Result("dual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipc0 := prof.Rate("ipc")
+	ipc1 := prof.Rate("cpu1_ipc")
+	if ipc0 <= 0 || ipc0 > 3 || ipc1 <= 0 || ipc1 > 3 {
+		t.Errorf("ipc0=%v ipc1=%v", ipc0, ipc1)
+	}
+	if len(prof.Series["cpu1_interrupt"].Samples) == 0 {
+		t.Error("core1 interrupt rate not measured")
+	}
+	if prof.Rate("cpu1_interrupt") <= 0 {
+		t.Error("core1 never took interrupts")
+	}
+	// Both apps made progress on their own iteration counters.
+	if app0.CPU().Reg(9) == 0 || app1.CPU().Reg(9) == 0 {
+		t.Errorf("progress: core0=%d core1=%d", app0.CPU().Reg(9), app1.CPU().Reg(9))
+	}
+	// The two applications are different software: their profiles differ.
+	if prof.Rate("icache_miss") == prof.Rate("cpu1_icache_miss") &&
+		ipc0 == ipc1 {
+		t.Error("suspiciously identical profiles for different applications")
+	}
+}
+
+// TestDualCoreSharedBusContention verifies the shared-resource effect the
+// architect cares about: adding a second active core costs the first one
+// cycles through flash and bus sharing.
+func TestDualCoreSharedBusContention(t *testing.T) {
+	iters := func(secondApp bool) uint32 {
+		cfg := soc.TC1797()
+		cfg.SecondCore = true
+		s := soc.New(cfg, 33)
+		spec0 := workload.Spec{
+			Name: "prim", Seed: 33, CodeKB: 32, TableKB: 32, FilterTaps: 8,
+			DiagBranches: 8, ADCPeriod: 2500, TimerPeriod: 9000, CANMeanGap: 5000,
+		}
+		app0, err := workload.Build(s, spec0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if secondApp {
+			_, err = workload.Build(s, workload.Spec{
+				Name: "sec", Seed: 34, CodeKB: 64, TableKB: 64, FilterTaps: 8,
+				DiagBranches: 8, ADCPeriod: 2100, TimerPeriod: 8000, CANMeanGap: 4000,
+				CoreIndex: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		app0.RunFor(400_000)
+		return app0.CPU().Reg(9)
+	}
+	alone := iters(false)
+	shared := iters(true)
+	if shared >= alone {
+		t.Errorf("no sharing cost visible: alone %d iters, shared %d", alone, shared)
+	}
+	if float64(shared) < 0.5*float64(alone) {
+		t.Errorf("sharing cost implausibly high: %d vs %d", shared, alone)
+	}
+}

@@ -1,0 +1,375 @@
+// Package profiling implements the paper's Enhanced System Profiling
+// methodology (Section 5) on top of the MCDS: a declarative specification
+// of the system parameters to measure (IPC, cache hit rates, flash access
+// rates, interrupt rate, …), compiled into MCDS counter structures that
+// measure everything dynamically, in parallel, non-intrusively and with
+// configurable resolution; plus the tool-side assembly of the resulting
+// rate messages into per-parameter time lines and run summaries.
+package profiling
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dap"
+	"repro/internal/mcds"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/soc"
+	"repro/internal/tmsg"
+)
+
+// ObsSel selects which observation block a parameter taps.
+type ObsSel uint8
+
+// Observation block selectors.
+const (
+	ObsCPU ObsSel = iota
+	ObsPCP
+	ObsDLMB
+	ObsPLMB
+	ObsSPB
+	ObsFlash
+	ObsDMA
+	ObsCPU1 // second TriCore core (SecondCore configurations)
+)
+
+// Param is one profiled system parameter: an event rate measured against a
+// resolution basis. A zero Basis means "per executed instruction"; IPC-style
+// parameters use EvCycle.
+type Param struct {
+	Name  string
+	Obs   ObsSel
+	Event sim.Event
+	Basis sim.Event // defaults to EvInstrExecuted on the CPU block
+}
+
+// StandardParams returns the paper's "essential parameters for CPU system
+// performance of an engine control system": IPC, cache hit/miss rates,
+// CPU access rates to flash/SRAM/scratchpads, interrupt rate — plus the
+// stall and bus-contention rates the analysis sections use.
+func StandardParams() []Param {
+	return []Param{
+		{Name: "ipc", Obs: ObsCPU, Event: sim.EvInstrExecuted, Basis: sim.EvCycle},
+		{Name: "icache_miss", Obs: ObsCPU, Event: sim.EvICacheMiss},
+		{Name: "icache_access", Obs: ObsCPU, Event: sim.EvICacheAccess},
+		{Name: "dcache_miss", Obs: ObsCPU, Event: sim.EvDCacheMiss},
+		{Name: "dcache_access", Obs: ObsCPU, Event: sim.EvDCacheAccess},
+		{Name: "dflash_read", Obs: ObsCPU, Event: sim.EvDFlashRead},
+		{Name: "iflash_access", Obs: ObsCPU, Event: sim.EvIFlashAccess},
+		{Name: "dscratch_access", Obs: ObsCPU, Event: sim.EvDScratchAccess},
+		{Name: "dsram_access", Obs: ObsCPU, Event: sim.EvDSRAMAccess},
+		{Name: "dperiph_access", Obs: ObsCPU, Event: sim.EvDPeriphAccess},
+		{Name: "interrupt", Obs: ObsCPU, Event: sim.EvInterruptEntry},
+		{Name: "stall_fetch", Obs: ObsCPU, Event: sim.EvStallFetch, Basis: sim.EvCycle},
+		{Name: "stall_data", Obs: ObsCPU, Event: sim.EvStallData, Basis: sim.EvCycle},
+		{Name: "stall_any", Obs: ObsCPU, Event: sim.EvStallCycle, Basis: sim.EvCycle},
+		{Name: "branch_miss", Obs: ObsCPU, Event: sim.EvBranchMiss},
+		{Name: "bus_contention", Obs: ObsDLMB, Event: sim.EvBusContention},
+		{Name: "flash_port_conflict", Obs: ObsFlash, Event: sim.EvFlashPortConflict},
+	}
+}
+
+// PCPParams returns the PCP-side parameter set.
+func PCPParams() []Param {
+	return []Param{
+		{Name: "pcp_ipc", Obs: ObsPCP, Event: sim.EvInstrExecuted, Basis: sim.EvCycle},
+		{Name: "pcp_periph_access", Obs: ObsPCP, Event: sim.EvDPeriphAccess},
+	}
+}
+
+// CPU1Params returns the second core's essential parameters (SecondCore
+// configurations).
+func CPU1Params() []Param {
+	return []Param{
+		{Name: "cpu1_ipc", Obs: ObsCPU1, Event: sim.EvInstrExecuted, Basis: sim.EvCycle},
+		{Name: "cpu1_icache_miss", Obs: ObsCPU1, Event: sim.EvICacheMiss},
+		{Name: "cpu1_dflash_read", Obs: ObsCPU1, Event: sim.EvDFlashRead},
+		{Name: "cpu1_stall_any", Obs: ObsCPU1, Event: sim.EvStallCycle, Basis: sim.EvCycle},
+		{Name: "cpu1_interrupt", Obs: ObsCPU1, Event: sim.EvInterruptEntry},
+	}
+}
+
+// Spec configures a profiling session.
+type Spec struct {
+	// Resolution is the number of basis events per sample window (the
+	// paper's "x": "Every x clock cycles, the number of executed
+	// instructions is saved as a trace message ... where x is the
+	// resolution").
+	Resolution uint64
+	Params     []Param
+
+	// DAP, when non-nil, models the tool link draining the EMEM during
+	// the run; nil reads the buffer out at the end (short runs that fit
+	// on-chip).
+	DAP *dap.Config
+}
+
+// Session is a configured profiling run: an MCDS programmed from a Spec,
+// attached to a SoC.
+type Session struct {
+	SoC  *soc.SoC
+	MCDS *mcds.MCDS
+	DAP  *dap.DAP
+	Regs *mcds.RegFile // memory-mapped EEC access (monitor/MLI path)
+
+	spec     Spec
+	params   []Param
+	counters []*mcds.Counter
+	cpuObs   *mcds.CoreObs
+	pcpObs   *mcds.CoreObs
+	cpu1Obs  *mcds.CoreObs
+}
+
+// NewSession programs an MCDS for spec on s (which must be an ED variant —
+// the production device has no EEC) and attaches it to the SoC clock.
+func NewSession(s *soc.SoC, spec Spec) *Session {
+	if s.EMEM == nil {
+		panic("profiling: SoC has no EMEM (use an ED preset)")
+	}
+	if spec.Resolution == 0 {
+		spec.Resolution = 1000
+	}
+	m := mcds.New("mcds", s.EMEM)
+	sess := &Session{SoC: s, MCDS: m, spec: spec}
+	sess.cpuObs = m.AddCore(s.CPU, 0)
+	if s.PCP != nil {
+		sess.pcpObs = m.AddCore(s.PCP.Core, 1)
+	}
+	if s.CPU1 != nil {
+		sess.cpu1Obs = m.AddCore(s.CPU1, 7)
+	}
+	busObs := map[ObsSel]*mcds.BusObs{}
+	getBus := func(sel ObsSel) *mcds.BusObs {
+		if b, ok := busObs[sel]; ok {
+			return b
+		}
+		var ctrs *sim.Counters
+		var src uint8
+		switch sel {
+		case ObsDLMB:
+			ctrs, src = s.DLMB.Counters(), 2
+		case ObsPLMB:
+			ctrs, src = s.PLMB.Counters(), 3
+		case ObsSPB:
+			ctrs, src = s.SPB.Counters(), 4
+		case ObsFlash:
+			ctrs, src = s.Flash.Counters(), 5
+		case ObsDMA:
+			if s.DMA == nil {
+				panic("profiling: no DMA on this SoC")
+			}
+			ctrs, src = s.DMA.Counters(), 6
+		default:
+			panic("profiling: bad bus selector")
+		}
+		b := m.AddBus(ctrs, src)
+		busObs[sel] = b
+		return b
+	}
+
+	for i, p := range spec.Params {
+		var obs mcds.Observer
+		switch p.Obs {
+		case ObsCPU:
+			obs = sess.cpuObs
+		case ObsPCP:
+			if sess.pcpObs == nil {
+				panic("profiling: no PCP on this SoC")
+			}
+			obs = sess.pcpObs
+		case ObsCPU1:
+			if sess.cpu1Obs == nil {
+				panic("profiling: no second core on this SoC")
+			}
+			obs = sess.cpu1Obs
+		default:
+			obs = getBus(p.Obs)
+		}
+		basisEv := p.Basis
+		if basisEv == sim.EvNone {
+			basisEv = sim.EvInstrExecuted
+		}
+		// The basis is counted on the parameter's own core for per-core
+		// rates (the paper's convention: each core's events relative to
+		// its own executed instructions) and on CPU0 for bus-side taps.
+		var basisObs mcds.Observer = sess.cpuObs
+		switch p.Obs {
+		case ObsPCP:
+			if basisEv == sim.EvCycle {
+				basisObs = obs
+			}
+		case ObsCPU1:
+			basisObs = sess.cpu1Obs
+		case ObsCPU:
+			if basisEv == sim.EvCycle {
+				basisObs = obs
+			}
+		}
+		if id := i; id > 255 {
+			panic("profiling: too many parameters")
+		}
+		c := mcds.NewRateCounter(p.Name, uint8(i),
+			mcds.Tap{Obs: obs, Event: p.Event},
+			mcds.Tap{Obs: basisObs, Event: basisEv},
+			spec.Resolution)
+		m.AddCounter(c)
+		sess.counters = append(sess.counters, c)
+		sess.params = append(sess.params, p)
+	}
+
+	s.Clock.Attach("mcds", m)
+	if spec.DAP != nil {
+		sess.DAP = dap.New(*spec.DAP, s.EMEM)
+		s.Clock.Attach("dap", sess.DAP)
+	}
+
+	// The EEC register file is reachable from the TriCore over the data
+	// bus (the paper's MLI/monitor access path) and from the tool over
+	// the Back Bone Bus.
+	sess.Regs = m.RegFile(mem.MCDSRegBase)
+	s.DLMB.Map(mem.MCDSRegBase, sess.Regs.Size(), sess.Regs)
+	return sess
+}
+
+// CPUObs exposes the TriCore observation block for custom triggers.
+func (sess *Session) CPUObs() *mcds.CoreObs { return sess.cpuObs }
+
+// CPU1Obs exposes the second core's observation block (nil without one).
+func (sess *Session) CPU1Obs() *mcds.CoreObs { return sess.cpu1Obs }
+
+// Counter returns the counter measuring the named parameter.
+func (sess *Session) Counter(name string) *mcds.Counter {
+	for i, p := range sess.params {
+		if p.Name == name {
+			return sess.counters[i]
+		}
+	}
+	return nil
+}
+
+// Sample is one rate window of one parameter.
+type Sample struct {
+	Cycle uint64 // window end
+	Basis uint64
+	Count uint64
+}
+
+// Rate returns count/basis.
+func (s Sample) Rate() float64 {
+	if s.Basis == 0 {
+		return 0
+	}
+	return float64(s.Count) / float64(s.Basis)
+}
+
+// Series is the time line of one parameter.
+type Series struct {
+	Param   string
+	Samples []Sample
+}
+
+// Mean returns the basis-weighted mean rate over the series.
+func (se *Series) Mean() float64 {
+	var b, c uint64
+	for _, s := range se.Samples {
+		b += s.Basis
+		c += s.Count
+	}
+	if b == 0 {
+		return 0
+	}
+	return float64(c) / float64(b)
+}
+
+// Min and Max return the extreme window rates.
+func (se *Series) Min() float64 {
+	if len(se.Samples) == 0 {
+		return 0
+	}
+	m := se.Samples[0].Rate()
+	for _, s := range se.Samples[1:] {
+		if r := s.Rate(); r < m {
+			m = r
+		}
+	}
+	return m
+}
+
+// Max returns the highest window rate.
+func (se *Series) Max() float64 {
+	m := 0.0
+	for _, s := range se.Samples {
+		if r := s.Rate(); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// Profile is the decoded result of a profiling run.
+type Profile struct {
+	App        string
+	Cycles     uint64
+	Instr      uint64
+	Series     map[string]*Series
+	MsgsLost   uint64
+	TraceBytes uint64 // bytes the MCDS emitted
+}
+
+// Rate returns the run-aggregate rate of the named parameter.
+func (p *Profile) Rate(name string) float64 {
+	if se, ok := p.Series[name]; ok {
+		return se.Mean()
+	}
+	return 0
+}
+
+// Names returns the parameter names, sorted.
+func (p *Profile) Names() []string {
+	var out []string
+	for n := range p.Series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Result drains remaining trace data, decodes every rate message and
+// assembles the profile. Call after the measurement run.
+func (sess *Session) Result(appName string) (*Profile, error) {
+	var raw []byte
+	if sess.DAP != nil {
+		sess.DAP.DrainAll()
+		raw = sess.DAP.Received
+	} else {
+		raw = sess.SoC.EMEM.Drain(sess.SoC.EMEM.Level())
+	}
+	var dec tmsg.Decoder
+	msgs, _, err := dec.DecodeAll(raw)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: decode: %w", err)
+	}
+	p := &Profile{
+		App:        appName,
+		Cycles:     sess.SoC.CPU.Counters().Get(sim.EvCycle),
+		Instr:      sess.SoC.CPU.Counters().Get(sim.EvInstrExecuted),
+		Series:     make(map[string]*Series),
+		MsgsLost:   sess.MCDS.MsgsLost,
+		TraceBytes: sess.MCDS.BytesEmitted,
+	}
+	for _, prm := range sess.params {
+		p.Series[prm.Name] = &Series{Param: prm.Name}
+	}
+	for _, m := range msgs {
+		if m.Kind != tmsg.KindRate {
+			continue
+		}
+		if int(m.CounterID) >= len(sess.params) {
+			continue
+		}
+		se := p.Series[sess.params[m.CounterID].Name]
+		se.Samples = append(se.Samples, Sample{Cycle: m.Cycle, Basis: m.Basis, Count: m.Count})
+	}
+	return p, nil
+}

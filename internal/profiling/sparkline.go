@@ -1,0 +1,48 @@
+package profiling
+
+import "strings"
+
+// sparkGlyphs are the eight block heights of a terminal sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the series as a fixed-width terminal sparkline:
+// windows are bucketed into width columns and each column shows the
+// bucket's mean rate scaled between the series minimum and maximum. It
+// gives the engineer the paper's "parameters values over the time line"
+// view directly in the terminal.
+func (se *Series) Sparkline(width int) string {
+	if width <= 0 || len(se.Samples) == 0 {
+		return ""
+	}
+	if width > len(se.Samples) {
+		width = len(se.Samples)
+	}
+	lo, hi := se.Min(), se.Max()
+	span := hi - lo
+	var b strings.Builder
+	n := len(se.Samples)
+	for col := 0; col < width; col++ {
+		start := col * n / width
+		end := (col + 1) * n / width
+		if end <= start {
+			end = start + 1
+		}
+		sum := 0.0
+		for _, s := range se.Samples[start:end] {
+			sum += s.Rate()
+		}
+		mean := sum / float64(end-start)
+		idx := 0
+		if span > 0 {
+			idx = int((mean - lo) / span * float64(len(sparkGlyphs)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkGlyphs) {
+				idx = len(sparkGlyphs) - 1
+			}
+		}
+		b.WriteRune(sparkGlyphs[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package soc
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// BenchmarkSimThroughput measures raw simulation speed (simulated cycles
+// per host second) on a flash-resident mixed loop — the figure that
+// determines how large a fleet evaluation is practical.
+func BenchmarkSimThroughput(b *testing.B) {
+	s := New(TC1797(), 1)
+	a := isa.NewAsm(mem.FlashBase)
+	a.Movw(1, mem.DSPRBase)
+	a.Movw(3, 1<<30)
+	a.Label("body")
+	a.Ldw(2, 1, 0)
+	a.Addi(2, 2, 1)
+	a.Stw(2, 1, 0)
+	a.Loop(3, "body")
+	a.Halt()
+	p, err := a.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.LoadProgram(p)
+	s.ResetCPU(p.Base)
+	b.ResetTimer()
+	s.Clock.Run(uint64(b.N))
+	b.StopTimer()
+	c := s.CPU.Counters()
+	b.ReportMetric(float64(c.Get(sim.EvInstrExecuted))/float64(b.N), "instr/cycle")
+}
+
+// BenchmarkSoCBuild measures system assembly cost (per evaluation run).
+func BenchmarkSoCBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(TC1797().WithED(), uint64(i))
+		if s.CPU == nil {
+			b.Fatal("no CPU")
+		}
+	}
+}

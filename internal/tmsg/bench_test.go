@@ -1,0 +1,50 @@
+package tmsg
+
+import "testing"
+
+func BenchmarkEncodeRate(b *testing.B) {
+	var enc Encoder
+	buf := make([]byte, 0, 16)
+	m := Msg{Kind: KindRate, Src: 0, CounterID: 3, Basis: 1000, Count: 42}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Cycle += 1200
+		buf = enc.Encode(buf[:0], &m)
+	}
+	if len(buf) == 0 {
+		b.Fatal("no output")
+	}
+}
+
+func BenchmarkEncodeFlow(b *testing.B) {
+	var enc Encoder
+	buf := make([]byte, 0, 16)
+	m := Msg{Kind: KindFlow, Src: 0, ICount: 9, PC: 0x8000_0000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Cycle += 12
+		m.PC += 64
+		buf = enc.Encode(buf[:0], &m)
+	}
+}
+
+func BenchmarkDecodeStream(b *testing.B) {
+	var enc Encoder
+	var buf []byte
+	sync := Msg{Kind: KindSync}
+	buf = enc.Encode(buf, &sync)
+	m := Msg{Kind: KindRate, CounterID: 1, Basis: 1000, Count: 7}
+	for i := 0; i < 1000; i++ {
+		m.Cycle += 1100
+		buf = enc.Encode(buf, &m)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var dec Decoder
+		msgs, _, err := dec.DecodeAll(buf)
+		if err != nil || len(msgs) != 1001 {
+			b.Fatalf("decode failed: %d %v", len(msgs), err)
+		}
+	}
+}

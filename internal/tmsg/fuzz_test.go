@@ -1,0 +1,83 @@
+package tmsg
+
+import "testing"
+
+// FuzzDecode: the tool-side decoder consumes bytes from a hardware FIFO
+// that overflow handling may have truncated arbitrarily; it must never
+// panic and must always make progress or stop cleanly.
+func FuzzDecode(f *testing.F) {
+	var enc Encoder
+	seed := enc.Encode(nil, &Msg{Kind: KindSync, Cycle: 100, PC: 0x8000_0000})
+	seed = enc.Encode(seed, &Msg{Kind: KindFlow, Cycle: 110, ICount: 3, PC: 0x8000_0040})
+	seed = enc.Encode(seed, &Msg{Kind: KindRate, Cycle: 200, CounterID: 1, Basis: 100, Count: 6})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var dec Decoder
+		msgs, consumed, err := dec.DecodeAll(data)
+		if consumed > len(data) {
+			t.Fatalf("consumed %d of %d", consumed, len(data))
+		}
+		if err == nil && consumed < len(data) {
+			// Stopped early without an error: the remainder must be a
+			// truncated message, i.e. decoding it alone must also stop.
+			var d2 Decoder
+			if _, _, err2 := d2.Decode(data[consumed:]); err2 == nil {
+				t.Fatal("decoder stopped although another message was decodable")
+			}
+		}
+		_ = msgs
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip: any structurally valid message round-trips.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(0), uint64(100), uint32(0x8000_0000), uint64(5))
+	f.Fuzz(func(t *testing.T, kindRaw, src uint8, cycle uint64, pc uint32, count uint64) {
+		m := Msg{
+			Kind:  Kind(kindRaw % uint8(numKinds)),
+			Src:   src % MaxSources,
+			Cycle: cycle,
+			PC:    pc,
+		}
+		switch m.Kind {
+		case KindFlow:
+			m.ICount = count
+		case KindData:
+			m.Addr, m.Data = pc, uint32(count)
+			m.PC = 0
+		case KindRate:
+			m.CounterID = uint8(count)
+			m.Basis, m.Count = count, count/2
+			m.PC = 0
+		case KindTrigger:
+			m.TriggerID = uint8(count)
+			m.PC = 0
+		case KindOverflow:
+			m.Lost = count
+			m.PC = 0
+			m.Cycle = 0
+		}
+		var enc Encoder
+		// Anchor first so deltas are well-defined.
+		buf := enc.Encode(nil, &Msg{Kind: KindSync, Src: m.Src})
+		if m.Kind != KindSync && m.Kind != KindOverflow {
+			// Cycle must be >= anchor (0), always true for uint64.
+			buf = enc.Encode(buf, &m)
+		} else {
+			buf = enc.Encode(buf, &m)
+		}
+		var dec Decoder
+		msgs, _, err := dec.DecodeAll(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		got := msgs[len(msgs)-1]
+		if got != m {
+			t.Fatalf("round trip: got %+v want %+v", got, m)
+		}
+	})
+}

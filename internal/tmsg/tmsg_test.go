@@ -1,0 +1,181 @@
+package tmsg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, msgs []Msg) []Msg {
+	t.Helper()
+	var enc Encoder
+	var buf []byte
+	for i := range msgs {
+		buf = enc.Encode(buf, &msgs[i])
+	}
+	var dec Decoder
+	out, n, err := dec.DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	return out
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	msgs := []Msg{
+		{Kind: KindSync, Src: 0, Cycle: 100, PC: 0x8000_0000},
+		{Kind: KindFlow, Src: 0, Cycle: 110, ICount: 7, PC: 0x8000_0040},
+		{Kind: KindFlow, Src: 0, Cycle: 150, ICount: 12, PC: 0x8000_0000},
+		{Kind: KindData, Src: 0, Cycle: 160, Addr: 0xD000_0010, Data: 42},
+		{Kind: KindData, Src: 0, Cycle: 161, Addr: 0xD000_0014, Data: 43, Write: true},
+		{Kind: KindRate, Src: 0, Cycle: 200, CounterID: 3, Basis: 100, Count: 4},
+		{Kind: KindTrigger, Src: 0, Cycle: 210, TriggerID: 9},
+		{Kind: KindOverflow, Src: 0, Cycle: 210, Lost: 55},
+	}
+	out := roundTrip(t, msgs)
+	if len(out) != len(msgs) {
+		t.Fatalf("decoded %d of %d", len(out), len(msgs))
+	}
+	for i := range msgs {
+		if out[i] != msgs[i] {
+			t.Errorf("msg %d: got %+v want %+v", i, out[i], msgs[i])
+		}
+	}
+}
+
+func TestMultiSourceInterleaving(t *testing.T) {
+	// Two cores traced in parallel: per-source delta state must not mix.
+	msgs := []Msg{
+		{Kind: KindSync, Src: 0, Cycle: 1000, PC: 0x8000_0000},
+		{Kind: KindSync, Src: 1, Cycle: 1000, PC: 0xF800_0000},
+		{Kind: KindFlow, Src: 0, Cycle: 1010, ICount: 3, PC: 0x8000_0100},
+		{Kind: KindFlow, Src: 1, Cycle: 1011, ICount: 5, PC: 0xF800_0040},
+		{Kind: KindFlow, Src: 0, Cycle: 1020, ICount: 2, PC: 0x8000_0000},
+		{Kind: KindData, Src: 1, Cycle: 1021, Addr: 0x9000_0000, Data: 7, Write: true},
+	}
+	out := roundTrip(t, msgs)
+	for i := range msgs {
+		if out[i] != msgs[i] {
+			t.Errorf("msg %d: got %+v want %+v", i, out[i], msgs[i])
+		}
+	}
+}
+
+func TestSyncReanchorsAfterGap(t *testing.T) {
+	// Simulate a drop: encoder encodes m1 (discarded), then sync, then m2.
+	var enc Encoder
+	var kept []byte
+	m1 := Msg{Kind: KindFlow, Src: 0, Cycle: 50, ICount: 1, PC: 0x100}
+	_ = enc.Encode(nil, &m1) // bytes lost (overflow)
+	sync := Msg{Kind: KindSync, Src: 0, Cycle: 90, PC: 0x200}
+	kept = enc.Encode(kept, &sync)
+	m2 := Msg{Kind: KindFlow, Src: 0, Cycle: 100, ICount: 4, PC: 0x300}
+	kept = enc.Encode(kept, &m2)
+
+	var dec Decoder
+	out, _, err := dec.DecodeAll(kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1].Cycle != 100 || out[1].PC != 0x300 {
+		t.Errorf("decode after drop: %+v", out)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var enc Encoder
+	m := Msg{Kind: KindRate, Src: 2, Cycle: 1 << 40, CounterID: 1, Basis: 1 << 30, Count: 12345}
+	buf := enc.Encode(nil, &m)
+	var dec Decoder
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := dec.Decode(buf[:cut]); err != ErrTruncated {
+			t.Fatalf("cut %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+	if _, n, err := dec.Decode(buf); err != nil || n != len(buf) {
+		t.Fatalf("full decode failed: %v", err)
+	}
+}
+
+func TestRateMessageIsCompact(t *testing.T) {
+	// The bandwidth claim rests on rate messages being a handful of bytes
+	// versus 2×4-byte counters plus addressing overhead for external
+	// sampling. Typical window: basis 100, small count, small cycle delta.
+	var enc Encoder
+	sync := Msg{Kind: KindSync, Src: 0, Cycle: 0, PC: 0}
+	buf := enc.Encode(nil, &sync)
+	base := len(buf)
+	m := Msg{Kind: KindRate, Src: 0, Cycle: 120, CounterID: 2, Basis: 100, Count: 4}
+	buf = enc.Encode(buf, &m)
+	if got := len(buf) - base; got > 6 {
+		t.Errorf("rate message = %d bytes, want <= 6", got)
+	}
+}
+
+func TestBadKindByte(t *testing.T) {
+	var dec Decoder
+	if _, _, err := dec.Decode([]byte{0xFF}); err == nil || err == ErrTruncated {
+		t.Errorf("err = %v, want decode error", err)
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(src uint8, dCycles []uint16, pcs []uint32, counts []uint16) bool {
+		src %= MaxSources
+		var enc Encoder
+		var dec Decoder
+		var buf []byte
+		cycle := uint64(0)
+		msgs := []Msg{{Kind: KindSync, Src: src, Cycle: 0, PC: 0}}
+		for i := range dCycles {
+			cycle += uint64(dCycles[i])
+			m := Msg{Kind: KindFlow, Src: src, Cycle: cycle, ICount: uint64(i)}
+			if i < len(pcs) {
+				m.PC = pcs[i]
+			}
+			msgs = append(msgs, m)
+			if i < len(counts) {
+				msgs = append(msgs, Msg{Kind: KindRate, Src: src, Cycle: cycle,
+					CounterID: uint8(i), Basis: 100, Count: uint64(counts[i])})
+			}
+		}
+		for i := range msgs {
+			buf = enc.Encode(buf, &msgs[i])
+		}
+		out, n, err := dec.DecodeAll(buf)
+		if err != nil || n != len(buf) || len(out) != len(msgs) {
+			return false
+		}
+		for i := range msgs {
+			if out[i] != msgs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{KindSync: "sync", KindFlow: "flow",
+		KindData: "data", KindRate: "rate", KindTrigger: "trigger",
+		KindOverflow: "overflow", Kind(7): "kind-unknown"} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q", k, got)
+		}
+	}
+}
+
+func TestEncodePanicsOnBadSource(t *testing.T) {
+	var enc Encoder
+	defer func() {
+		if recover() == nil {
+			t.Error("source out of range must panic")
+		}
+	}()
+	enc.Encode(nil, &Msg{Kind: KindSync, Src: MaxSources})
+}

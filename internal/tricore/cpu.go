@@ -1,0 +1,380 @@
+// Package tricore implements the TriCore-like CPU core of the simulated
+// SoC: an in-order, three-way superscalar machine with one integer pipe,
+// one load/store pipe and one loop pipe (so at most three instructions
+// retire per cycle — the figure the paper quotes for the MCDS IPC counter),
+// static branch prediction, instruction and data caches, scratchpads, and
+// shadow-register interrupt entry.
+package tricore
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// InterruptSource supplies pending interrupt requests to the core. The
+// interrupt router in internal/irq implements it.
+type InterruptSource interface {
+	// PendingIRQ returns the highest pending priority strictly greater
+	// than cur, with its vector address, or ok=false.
+	PendingIRQ(cur uint32) (prio uint32, vector uint32, ok bool)
+	// AckIRQ tells the router the core accepted the request at prio.
+	AckIRQ(prio uint32)
+}
+
+// Timing parameters of the core. Defaults follow a short automotive
+// pipeline; they are knobs so architecture options can vary them.
+type Timing struct {
+	TakenPenalty     uint64 // correctly predicted taken branch bubble
+	MispredictFlush  uint64 // mispredicted branch flush
+	IndirectPenalty  uint64 // JR / RFE target bubble
+	IRQEntryCycles   uint64 // interrupt entry latency
+	MulLatency       uint64 // MUL/MAC result latency
+	LoadUseLatency   uint64 // extra cycles before a loaded value is usable
+	ShadowDepth      int    // nesting depth of the shadow register stack
+	FetchBlocksCycle int    // aligned 8-byte blocks fetchable per cycle
+	IssueWidth       int    // instructions per cycle (3 = TriCore, 1 = PCP)
+}
+
+// DefaultTiming returns the standard core timing.
+func DefaultTiming() Timing {
+	return Timing{
+		TakenPenalty:     1,
+		MispredictFlush:  3,
+		IndirectPenalty:  2,
+		IRQEntryCycles:   4,
+		MulLatency:       2,
+		LoadUseLatency:   1,
+		ShadowDepth:      16,
+		FetchBlocksCycle: 2,
+		IssueWidth:       3,
+	}
+}
+
+// Retired describes one retired instruction, exposed to the MCDS core
+// observation block for program/data trace and comparators.
+type Retired struct {
+	Cycle  uint64
+	PC     uint32
+	Word   uint32
+	Op     isa.Op
+	Taken  bool   // change of flow taken
+	Target uint32 // flow target when Taken
+	HasMem bool
+	EA     uint32 // effective address when HasMem
+	Write  bool
+	Data   uint32 // value loaded or stored when HasMem
+}
+
+type shadowFrame struct {
+	pc  uint32
+	icr uint32
+}
+
+// CPU is one TriCore-like core.
+type CPU struct {
+	Name   string
+	ID     uint32
+	PMI    PMI
+	DMI    DMI
+	IRQ    InterruptSource // nil = no interrupts
+	Timing Timing
+
+	regs [isa.NumRegs]uint32
+	csr  [isa.NumCSRs]uint32
+	pc   uint32
+
+	regReadyAt  [isa.NumRegs]uint64
+	regFromLoad [isa.NumRegs]bool
+
+	halted     bool
+	stallUntil uint64
+	stallKind  sim.Event // attribution for the current stall window
+
+	fetchBlock uint32 // currently buffered aligned 8-byte fetch block
+	fetchValid bool
+
+	storeBusyUntil uint64 // single-entry posted-store buffer
+
+	memBuf [4]byte // scratch for load/store data (avoids per-access allocation)
+
+	shadow []shadowFrame
+
+	counters *sim.Counters
+
+	// TraceEnabled makes the core append every retired instruction to the
+	// retire log drained by the MCDS observation block each cycle.
+	TraceEnabled bool
+	retired      []Retired
+
+	// OnDbg, when set, is called for each executed DBG instruction (the
+	// MCDS debug-marker hook).
+	OnDbg func(cycle uint64, pc uint32)
+}
+
+// New creates a core named name with the given memory interfaces. ctrs is
+// the core's event counter set; pass the same pointer to cache.New for the
+// core's caches so that one observation block sees all core events. nil
+// allocates a fresh set.
+func New(name string, id uint32, pmi PMI, dmi DMI, timing Timing, ctrs *sim.Counters) *CPU {
+	if ctrs == nil {
+		ctrs = new(sim.Counters)
+	}
+	c := &CPU{Name: name, ID: id, PMI: pmi, DMI: dmi, Timing: timing, counters: ctrs}
+	c.PMI.ctrs = ctrs
+	c.DMI.ctrs = ctrs
+	c.csr[isa.CsrCoreID] = id
+	// A core is held in halt until Reset places it at an entry point
+	// (mirrors the boot behaviour of secondary cores).
+	c.halted = true
+	return c
+}
+
+// Counters returns the core's event counter set (the MCDS core observation
+// block tap).
+func (c *CPU) Counters() *sim.Counters { return c.counters }
+
+// Reset places the core at entry with an empty pipeline. Interrupts are
+// disabled until software enables them via MTCR to ICR.
+func (c *CPU) Reset(entry uint32, sp uint32) {
+	c.pc = entry
+	c.halted = false
+	c.stallUntil = 0
+	c.fetchValid = false
+	c.shadow = c.shadow[:0]
+	for i := range c.regs {
+		c.regs[i] = 0
+		c.regReadyAt[i] = 0
+		c.regFromLoad[i] = false
+	}
+	c.regs[isa.RegSP] = sp
+	for i := range c.csr {
+		c.csr[i] = 0
+	}
+	c.csr[isa.CsrCoreID] = c.ID
+}
+
+// Halted reports whether the core executed HALT (or was halted by the
+// debug run-control).
+func (c *CPU) Halted() bool { return c.halted }
+
+// DebugBreak halts the core from outside the instruction stream — the
+// OCDS run-control path the MCDS break action drives. Reset resumes.
+func (c *CPU) DebugBreak() { c.halted = true }
+
+// PC returns the address of the next instruction to issue.
+func (c *CPU) PC() uint32 { return c.pc }
+
+// Reg returns the architectural value of register r.
+func (c *CPU) Reg(r int) uint32 { return c.regs[r] }
+
+// SetReg sets register r (test and loader use).
+func (c *CPU) SetReg(r int, v uint32) { c.regs[r] = v }
+
+// CSRValue returns core special register n.
+func (c *CPU) CSRValue(n int) uint32 { return c.csr[n] }
+
+// DrainRetired returns the retire log accumulated since the last drain and
+// resets it. The MCDS observation block calls this once per cycle (it is
+// stepped after the core within the same cycle).
+func (c *CPU) DrainRetired() []Retired {
+	r := c.retired
+	c.retired = c.retired[:0]
+	return r
+}
+
+// irqEnabled reports whether the global interrupt enable bit is set.
+func (c *CPU) irqEnabled() bool { return c.csr[isa.CsrICR]&1 != 0 }
+
+// currentPrio returns the current CPU priority number (ICR.CCPN).
+func (c *CPU) currentPrio() uint32 { return c.csr[isa.CsrICR] >> 8 & 0xFF }
+
+// Tick advances the core by one cycle.
+func (c *CPU) Tick(now uint64) {
+	if c.halted {
+		return
+	}
+	c.counters.Inc(sim.EvCycle)
+
+	if now < c.stallUntil {
+		c.counters.Inc(sim.EvStallCycle)
+		if c.stallKind != sim.EvNone {
+			c.counters.Inc(c.stallKind)
+		}
+		return
+	}
+
+	// Interrupt entry between instructions.
+	if c.IRQ != nil && c.irqEnabled() {
+		if prio, vector, ok := c.IRQ.PendingIRQ(c.currentPrio()); ok {
+			c.enterIRQ(now, prio, vector)
+			return
+		}
+	}
+
+	c.issueBundle(now)
+}
+
+func (c *CPU) enterIRQ(now uint64, prio, vector uint32) {
+	if len(c.shadow) >= c.Timing.ShadowDepth {
+		panic(fmt.Sprintf("%s: shadow register stack overflow (depth %d)", c.Name, c.Timing.ShadowDepth))
+	}
+	c.shadow = append(c.shadow, shadowFrame{pc: c.pc, icr: c.csr[isa.CsrICR]})
+	c.csr[isa.CsrICR] = prio << 8 // CCPN = prio, IE = 0 until handler re-enables
+	c.pc = vector
+	c.fetchValid = false
+	c.IRQ.AckIRQ(prio)
+	c.counters.Inc(sim.EvInterruptEntry)
+	c.stall(now, now+c.Timing.IRQEntryCycles, sim.EvNone)
+}
+
+// stall suspends issue until cycle until (exclusive), attributing waiting
+// cycles to kind. The current cycle is not recounted.
+func (c *CPU) stall(now, until uint64, kind sim.Event) {
+	if until <= now {
+		return
+	}
+	c.stallUntil = until
+	c.stallKind = kind
+}
+
+// fetchWord supplies the instruction word at pc, charging fetch timing.
+// blocks tracks how many new block fetches this cycle already performed.
+// ok=false means the bundle must end (either a stall was scheduled, or the
+// per-cycle fetch bandwidth is exhausted).
+func (c *CPU) fetchWord(now uint64, pc uint32, blocks *int, issued int) (uint32, bool) {
+	block := pc &^ 7
+	if !c.fetchValid || c.fetchBlock != block {
+		if *blocks >= c.Timing.FetchBlocksCycle {
+			// Out of fetch bandwidth this cycle; resume next cycle.
+			if issued == 0 {
+				c.counters.Inc(sim.EvStallCycle)
+				c.counters.Inc(sim.EvStallFetch)
+			}
+			return 0, false
+		}
+		*blocks++
+		ready := c.PMI.FetchBlock(now, pc)
+		c.fetchValid = true
+		c.fetchBlock = block
+		if ready > now {
+			// Fetch miss: stall until the block arrives.
+			c.stall(now, ready, sim.EvStallFetch)
+			if issued == 0 {
+				c.counters.Inc(sim.EvStallCycle)
+				c.counters.Inc(sim.EvStallFetch)
+			}
+			return 0, false
+		}
+	}
+	return c.PMI.Word(pc), true
+}
+
+func (c *CPU) issueBundle(now uint64) {
+	var pipeBusy [3]bool
+	issued := 0
+	blocks := 0
+	width := c.Timing.IssueWidth
+	if width <= 0 || width > 3 {
+		width = 3
+	}
+
+	for issued < width {
+		word, ok := c.fetchWord(now, c.pc, &blocks, issued)
+		if !ok {
+			break
+		}
+		in := isa.Decode(word)
+		if !in.Op.Valid() {
+			panic(fmt.Sprintf("%s: illegal instruction %#08x at pc %#08x", c.Name, word, c.pc))
+		}
+		pipe := in.Op.Pipe()
+		if pipeBusy[pipe] {
+			break // structural hazard: pipe already claimed this cycle
+		}
+		if !c.sourcesReady(now, in) {
+			if issued == 0 {
+				c.counters.Inc(sim.EvStallCycle)
+				if c.pendingLoadHazard(now, in) {
+					c.counters.Inc(sim.EvStallData)
+				}
+			}
+			break
+		}
+		flowChange := c.execute(now, in)
+		pipeBusy[pipe] = true
+		issued++
+		c.counters.Inc(sim.EvInstrExecuted)
+		if flowChange || c.halted {
+			break
+		}
+	}
+}
+
+// sourcesReady reports whether all registers read by in are available at
+// cycle now (in-order scoreboard check).
+func (c *CPU) sourcesReady(now uint64, in isa.Instr) bool {
+	var regs [3]uint8
+	n := readRegs(in, &regs)
+	for i := 0; i < n; i++ {
+		if c.regReadyAt[regs[i]] > now {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *CPU) pendingLoadHazard(now uint64, in isa.Instr) bool {
+	var regs [3]uint8
+	n := readRegs(in, &regs)
+	for i := 0; i < n; i++ {
+		r := regs[i]
+		if c.regReadyAt[r] > now && c.regFromLoad[r] {
+			return true
+		}
+	}
+	return false
+}
+
+// readRegs stores the registers an instruction reads into regs and returns
+// how many there are (allocation-free: this runs for every instruction).
+func readRegs(in isa.Instr, regs *[3]uint8) int {
+	switch in.Op {
+	case isa.OpNOP, isa.OpMOVI, isa.OpMOVH, isa.OpJ, isa.OpRFE, isa.OpHALT, isa.OpDBG, isa.OpCALL, isa.OpMFCR:
+		return 0
+	case isa.OpORIL:
+		regs[0] = in.Rd
+		return 1
+	case isa.OpMAC:
+		regs[0], regs[1], regs[2] = in.Rd, in.Ra, in.Rb
+		return 3
+	case isa.OpSTW, isa.OpSTB:
+		regs[0], regs[1] = in.Rd, in.Ra
+		return 2
+	case isa.OpLDW, isa.OpLDB, isa.OpLEA, isa.OpJR, isa.OpLOOP, isa.OpMTCR,
+		isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI, isa.OpSHLI, isa.OpSHRI, isa.OpSLTI:
+		regs[0] = in.Ra
+		return 1
+	default: // branches and three-register ALU
+		regs[0], regs[1] = in.Ra, in.Rb
+		return 2
+	}
+}
+
+func (c *CPU) writeReg(r uint8, v uint32, readyAt uint64, fromLoad bool) {
+	c.regs[r] = v
+	c.regReadyAt[r] = readyAt
+	c.regFromLoad[r] = fromLoad
+}
+
+func (c *CPU) retire(now uint64, pc uint32, in isa.Instr, r Retired) {
+	if !c.TraceEnabled {
+		return
+	}
+	r.Cycle = now
+	r.PC = pc
+	r.Op = in.Op
+	r.Word = in.Encode()
+	c.retired = append(c.retired, r)
+}

@@ -1,0 +1,268 @@
+package tricore
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// execute performs the architectural and timing effects of one instruction
+// and returns true when control flow changed (ending the issue bundle).
+func (c *CPU) execute(now uint64, in isa.Instr) bool {
+	pc := c.pc
+	next := pc + 4
+	ra, rb := c.regs[in.Ra], c.regs[in.Rb]
+
+	switch in.Op {
+	case isa.OpNOP:
+		// nothing
+
+	case isa.OpDBG:
+		if c.OnDbg != nil {
+			c.OnDbg(now, pc)
+		}
+
+	case isa.OpMOVI:
+		c.writeReg(in.Rd, uint32(in.Imm), now+1, false)
+	case isa.OpMOVH:
+		c.writeReg(in.Rd, uint32(in.Imm)<<16, now+1, false)
+	case isa.OpORIL:
+		c.writeReg(in.Rd, c.regs[in.Rd]|uint32(in.Imm), now+1, false)
+
+	case isa.OpADD:
+		c.writeReg(in.Rd, ra+rb, now+1, false)
+	case isa.OpSUB:
+		c.writeReg(in.Rd, ra-rb, now+1, false)
+	case isa.OpAND:
+		c.writeReg(in.Rd, ra&rb, now+1, false)
+	case isa.OpOR:
+		c.writeReg(in.Rd, ra|rb, now+1, false)
+	case isa.OpXOR:
+		c.writeReg(in.Rd, ra^rb, now+1, false)
+	case isa.OpSHL:
+		c.writeReg(in.Rd, ra<<(rb&31), now+1, false)
+	case isa.OpSHR:
+		c.writeReg(in.Rd, ra>>(rb&31), now+1, false)
+	case isa.OpSRA:
+		c.writeReg(in.Rd, uint32(int32(ra)>>(rb&31)), now+1, false)
+	case isa.OpMUL:
+		c.writeReg(in.Rd, ra*rb, now+c.Timing.MulLatency, false)
+	case isa.OpMAC:
+		c.writeReg(in.Rd, c.regs[in.Rd]+ra*rb, now+c.Timing.MulLatency, false)
+	case isa.OpSLT:
+		c.writeReg(in.Rd, b2u(int32(ra) < int32(rb)), now+1, false)
+	case isa.OpSLTU:
+		c.writeReg(in.Rd, b2u(ra < rb), now+1, false)
+
+	case isa.OpADDI:
+		c.writeReg(in.Rd, ra+uint32(in.Imm), now+1, false)
+	case isa.OpANDI:
+		c.writeReg(in.Rd, ra&uint32(in.Imm), now+1, false)
+	case isa.OpORI:
+		c.writeReg(in.Rd, ra|uint32(in.Imm), now+1, false)
+	case isa.OpXORI:
+		c.writeReg(in.Rd, ra^uint32(in.Imm), now+1, false)
+	case isa.OpSHLI:
+		c.writeReg(in.Rd, ra<<(uint32(in.Imm)&31), now+1, false)
+	case isa.OpSHRI:
+		c.writeReg(in.Rd, ra>>(uint32(in.Imm)&31), now+1, false)
+	case isa.OpSLTI:
+		c.writeReg(in.Rd, b2u(int32(ra) < in.Imm), now+1, false)
+	case isa.OpLEA:
+		c.writeReg(in.Rd, ra+uint32(in.Imm), now+1, false)
+
+	case isa.OpLDW, isa.OpLDB:
+		ea := ra + uint32(in.Imm)
+		size := 4
+		if in.Op == isa.OpLDB {
+			size = 1
+		}
+		buf := c.memBuf[:size]
+		ready := c.DMI.Load(now, ea, buf)
+		v := uint32(buf[0])
+		if size == 4 {
+			v |= uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24
+		}
+		if ready > now {
+			// Miss or bus access: the LS pipe blocks.
+			c.stall(now, ready, sim.EvStallData)
+		}
+		c.writeReg(in.Rd, v, maxU64(ready, now)+c.Timing.LoadUseLatency, true)
+		c.retire(now, pc, in, Retired{HasMem: true, EA: ea, Data: v})
+		c.pc = next
+		return ready > now // a stalled load ends the bundle
+
+	case isa.OpSTW, isa.OpSTB:
+		ea := ra + uint32(in.Imm)
+		v := c.regs[in.Rd]
+		c.memBuf[0], c.memBuf[1], c.memBuf[2], c.memBuf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		size := 4
+		if in.Op == isa.OpSTB {
+			size = 1
+		}
+		// Single-entry posted store buffer: a second store while one is
+		// outstanding stalls until the first drains.
+		start := now
+		if c.storeBusyUntil > now {
+			c.stall(now, c.storeBusyUntil, sim.EvStallData)
+			start = c.storeBusyUntil
+		}
+		c.storeBusyUntil = c.DMI.Store(start, ea, c.memBuf[:size])
+		c.retire(now, pc, in, Retired{HasMem: true, EA: ea, Write: true, Data: v})
+		c.pc = next
+		return c.stallUntil > now
+
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		taken := false
+		switch in.Op {
+		case isa.OpBEQ:
+			taken = ra == rb
+		case isa.OpBNE:
+			taken = ra != rb
+		case isa.OpBLT:
+			taken = int32(ra) < int32(rb)
+		case isa.OpBGE:
+			taken = int32(ra) >= int32(rb)
+		case isa.OpBLTU:
+			taken = ra < rb
+		case isa.OpBGEU:
+			taken = ra >= rb
+		}
+		backward := in.Imm < 0
+		target := pc + uint32(in.Imm)*4
+		// Static prediction: backward taken, forward not taken.
+		if taken {
+			c.counters.Inc(sim.EvBranchTaken)
+			c.pc = target
+			c.fetchValid = false
+			if backward {
+				c.stall(now, now+c.Timing.TakenPenalty, sim.EvStallFetch)
+			} else {
+				c.counters.Inc(sim.EvBranchMiss)
+				c.stall(now, now+c.Timing.MispredictFlush, sim.EvStallFetch)
+			}
+			c.retire(now, pc, in, Retired{Taken: true, Target: target})
+			return true
+		}
+		if backward {
+			c.counters.Inc(sim.EvBranchMiss)
+			c.stall(now, now+c.Timing.MispredictFlush, sim.EvStallFetch)
+			c.retire(now, pc, in, Retired{})
+			c.pc = next
+			return true
+		}
+		c.retire(now, pc, in, Retired{})
+		c.pc = next
+		return false
+
+	case isa.OpLOOP:
+		v := ra - 1
+		c.writeReg(in.Ra, v, now+1, false)
+		if v != 0 {
+			target := pc + uint32(in.Imm)*4
+			c.counters.Inc(sim.EvBranchTaken)
+			c.pc = target
+			c.fetchValid = false
+			// Loop pipe: zero-overhead taken back-branch.
+			c.retire(now, pc, in, Retired{Taken: true, Target: target})
+			return true
+		}
+		// Loop exit: one bubble (the loop pipe predicted taken).
+		c.stall(now, now+c.Timing.TakenPenalty, sim.EvStallFetch)
+		c.retire(now, pc, in, Retired{})
+		c.pc = next
+		return true
+
+	case isa.OpJ:
+		target := pc + uint32(in.Off24)*4
+		c.counters.Inc(sim.EvBranchTaken)
+		c.pc = target
+		c.fetchValid = false
+		c.stall(now, now+c.Timing.TakenPenalty, sim.EvStallFetch)
+		c.retire(now, pc, in, Retired{Taken: true, Target: target})
+		return true
+
+	case isa.OpCALL:
+		target := pc + uint32(in.Off24)*4
+		c.writeReg(isa.RegLink, next, now+1, false)
+		c.counters.Inc(sim.EvBranchTaken)
+		c.pc = target
+		c.fetchValid = false
+		c.stall(now, now+c.Timing.TakenPenalty, sim.EvStallFetch)
+		c.retire(now, pc, in, Retired{Taken: true, Target: target})
+		return true
+
+	case isa.OpJR:
+		c.counters.Inc(sim.EvBranchTaken)
+		c.pc = ra
+		c.fetchValid = false
+		c.stall(now, now+c.Timing.IndirectPenalty, sim.EvStallFetch)
+		c.retire(now, pc, in, Retired{Taken: true, Target: ra})
+		return true
+
+	case isa.OpMFCR:
+		n := int(in.Imm)
+		if n < 0 || n >= isa.NumCSRs {
+			panic(fmt.Sprintf("%s: mfcr of unknown csr %d", c.Name, n))
+		}
+		v := c.csr[n]
+		if n == isa.CsrCCNT {
+			v = uint32(now)
+		}
+		c.writeReg(in.Rd, v, now+1, false)
+
+	case isa.OpMTCR:
+		n := int(in.Imm)
+		if n < 0 || n >= isa.NumCSRs {
+			panic(fmt.Sprintf("%s: mtcr of unknown csr %d", c.Name, n))
+		}
+		if n != isa.CsrCCNT && n != isa.CsrCoreID {
+			c.csr[n] = ra
+		}
+
+	case isa.OpRFE:
+		if len(c.shadow) == 0 {
+			// RFE outside an interrupt stops the core; the PCP uses this
+			// as "channel done".
+			c.halted = true
+			c.retire(now, pc, in, Retired{})
+			return true
+		}
+		fr := c.shadow[len(c.shadow)-1]
+		c.shadow = c.shadow[:len(c.shadow)-1]
+		c.csr[isa.CsrICR] = fr.icr
+		c.pc = fr.pc
+		c.fetchValid = false
+		c.counters.Inc(sim.EvInterruptExit)
+		c.stall(now, now+c.Timing.IndirectPenalty, sim.EvStallFetch)
+		c.retire(now, pc, in, Retired{Taken: true, Target: fr.pc})
+		return true
+
+	case isa.OpHALT:
+		c.halted = true
+		c.retire(now, pc, in, Retired{})
+		return true
+
+	default:
+		panic(fmt.Sprintf("%s: unimplemented opcode %v", c.Name, in.Op))
+	}
+
+	c.retire(now, pc, in, Retired{})
+	c.pc = next
+	return false
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

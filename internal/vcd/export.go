@@ -1,0 +1,66 @@
+package vcd
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/tmsg"
+)
+
+// ExportTrace converts a decoded MCDS message stream into a VCD waveform:
+// per source, the flow-trace target PC, data-access address/value, and one
+// vector per rate counter (the window's event count). Returns the number
+// of value changes written.
+func ExportTrace(w io.Writer, msgs []tmsg.Msg) (int, error) {
+	vw := NewWriter(w, "mcds")
+
+	type srcVars struct {
+		pc, daddr, dval *Var
+		rate            map[uint8]*Var
+	}
+	vars := map[uint8]*srcVars{}
+	// Pre-scan so every variable is declared before the body starts.
+	for i := range msgs {
+		m := &msgs[i]
+		sv := vars[m.Src]
+		if sv == nil {
+			sv = &srcVars{rate: map[uint8]*Var{}}
+			vars[m.Src] = sv
+		}
+		switch m.Kind {
+		case tmsg.KindSync, tmsg.KindFlow:
+			if sv.pc == nil {
+				sv.pc = vw.AddVar(fmt.Sprintf("src%d.pc", m.Src), 32)
+			}
+		case tmsg.KindData:
+			if sv.daddr == nil {
+				sv.daddr = vw.AddVar(fmt.Sprintf("src%d.daddr", m.Src), 32)
+				sv.dval = vw.AddVar(fmt.Sprintf("src%d.dval", m.Src), 32)
+			}
+		case tmsg.KindRate:
+			if sv.rate[m.CounterID] == nil {
+				sv.rate[m.CounterID] = vw.AddVar(
+					fmt.Sprintf("src%d.ctr%d", m.Src, m.CounterID), 32)
+			}
+		}
+	}
+
+	changes := 0
+	for i := range msgs {
+		m := &msgs[i]
+		sv := vars[m.Src]
+		switch m.Kind {
+		case tmsg.KindSync, tmsg.KindFlow:
+			vw.Emit(m.Cycle, sv.pc, uint64(m.PC))
+			changes++
+		case tmsg.KindData:
+			vw.Emit(m.Cycle, sv.daddr, uint64(m.Addr))
+			vw.Emit(m.Cycle, sv.dval, uint64(m.Data))
+			changes += 2
+		case tmsg.KindRate:
+			vw.Emit(m.Cycle, sv.rate[m.CounterID], m.Count)
+			changes++
+		}
+	}
+	return changes, vw.Close()
+}

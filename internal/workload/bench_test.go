@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/soc"
+)
+
+func BenchmarkBuildApp(b *testing.B) {
+	spec := Spec{
+		Name: "bench", Seed: 1, CodeKB: 24, TableKB: 32, FilterTaps: 16,
+		DiagBranches: 12, ADCPeriod: 2500, TimerPeriod: 9000, CANMeanGap: 5000,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := soc.New(soc.TC1797(), spec.Seed)
+		if _, err := Build(s, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppExecution(b *testing.B) {
+	s := soc.New(soc.TC1797(), 1)
+	app, err := Build(s, Spec{
+		Name: "bench", Seed: 1, CodeKB: 24, TableKB: 32, FilterTaps: 16,
+		DiagBranches: 12, ADCPeriod: 2500, TimerPeriod: 9000, CANMeanGap: 5000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	app.RunFor(uint64(b.N))
+}
