@@ -111,6 +111,18 @@ func BenchmarkE9Multicore(b *testing.B) {
 	report(b, t, "rate_scaling", "flow_over_rate_2core", "order_preserved")
 }
 
+// BenchmarkE10FaultRecovery regenerates the fault-recovery measurement:
+// decode throughput and recovery latency of the hardened tool link at
+// 0 / 0.1 / 1 % corruption.
+func BenchmarkE10FaultRecovery(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E10FaultRecovery()
+	}
+	report(b, t, "delivered_frac_clean", "delivered_frac_1pct",
+		"recovery_cycles_1pct", "decode_mbps_clean", "decode_mbps_1pct", "retries_1pct")
+}
+
 // BenchmarkF1FModel regenerates the generational F-model loop (Figure 1).
 func BenchmarkF1FModel(b *testing.B) {
 	var t *experiments.Table

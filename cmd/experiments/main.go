@@ -36,6 +36,7 @@ func main() {
 		{"E7", experiments.E7FlashLever},
 		{"E8", experiments.E8CycleTrace},
 		{"E9", experiments.E9Multicore},
+		{"E10", experiments.E10FaultRecovery},
 		{"F1", func() *experiments.Table { return experiments.F1FModel(*quick) }},
 		{"A1", experiments.A1RateBasis},
 		{"A2", experiments.A2Compression},

@@ -7,6 +7,7 @@
 //
 //	tcprof [-soc TC1797|TC1767] [-seed N] [-cycles N] [-res N]
 //	       [-csv timeline.csv] [-rawtrace trace.bin] [-flow]
+//	       [-faults scenario|k=v,...] [-framed] [-degrade]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/dap"
+	"repro/internal/fault"
 	"repro/internal/profiling"
 	"repro/internal/soc"
 	"repro/internal/workload"
@@ -30,6 +32,9 @@ func main() {
 	flow := flag.Bool("flow", false, "additionally record the program flow trace")
 	diagnose := flag.Float64("diagnose", 0, "diagnose windows with IPC below this threshold")
 	plot := flag.Bool("plot", false, "render each parameter's timeline as a sparkline")
+	faults := flag.String("faults", "", "fault scenario (clean|noisy-link|flaky-cable|soft-errors|fifo-jam|everything) or k=v list (corrupt=,trunc=,drop=,stall=,stallmin=,stallmax=,flip=,jam=,jammin=,jammax=)")
+	framed := flag.Bool("framed", false, "harden the trace path: CRC/seq frames + reliable DAP (implied by -faults)")
+	degrade := flag.Bool("degrade", false, "enable graceful degradation (widen resolution under buffer pressure)")
 	flag.Parse()
 
 	var cfg soc.Config
@@ -58,9 +63,21 @@ func main() {
 
 	params := append(profiling.StandardParams(), profiling.PCPParams()...)
 	dapCfg := dap.DefaultConfig(cfg.CPUFreqMHz)
-	sess := profiling.NewSession(s, profiling.Spec{
-		Resolution: *res, Params: params, DAP: &dapCfg,
-	})
+	profSpec := profiling.Spec{
+		Resolution: *res, Params: params, DAP: &dapCfg, Framed: *framed,
+	}
+	if *faults != "" {
+		plan, err := fault.Parse(*faults, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		profSpec.Fault = &plan
+	}
+	if *degrade {
+		profSpec.Degrade = &profiling.DegradePolicy{}
+	}
+	sess := profiling.NewSession(s, profSpec)
 	if *flow {
 		sess.CPUObs().FlowTrace = true
 	}
@@ -76,11 +93,48 @@ func main() {
 		cfg.Name, prof.Cycles, prof.Instr, *res)
 	fmt.Printf("trace: %d bytes emitted, %d messages lost, DAP drained %d bytes\n",
 		prof.TraceBytes, prof.MsgsLost, sess.DAP.TotalDrained)
-	fmt.Printf("%-22s %10s %10s %10s %8s\n", "parameter", "mean", "min", "max", "windows")
+	if inj := sess.Injector; inj != nil {
+		fmt.Printf("faults[%s]: %d corrupted, %d truncated, %d dropped, %d stalls (%d cyc), %d bit flips, %d jams (%d cyc)\n",
+			inj.Plan.Name, inj.FramesCorrupted, inj.FramesTruncated, inj.FramesDropped,
+			inj.Stalls, inj.StallCycles, inj.BitFlips, inj.Jams, inj.JamCycles)
+	}
+	if st := sess.DAP.Stream(); st != nil {
+		fmt.Printf("link: %d delivered, %d lost, %d gaps, %d retries, %d frames abandoned\n",
+			st.Delivered, st.AccountedLost(), len(prof.Gaps), sess.DAP.Retries, sess.DAP.FramesAbandoned)
+		for i, g := range prof.Gaps {
+			if i >= 5 {
+				fmt.Printf("  ... %d more gaps\n", len(prof.Gaps)-i)
+				break
+			}
+			end := fmt.Sprintf("%d", g.EndCycle)
+			if g.Open() {
+				end = "end"
+			}
+			fmt.Printf("  gap @%d..%s: %d messages, %d frames\n", g.StartCycle, end, g.Msgs, g.Frames)
+		}
+	}
+	if d := sess.Degrader; d != nil {
+		fmt.Printf("degrade: %d widenings, %d restores, peak factor %d, %d cycles degraded\n",
+			d.Widenings, d.Restores, d.MaxFactorSeen, d.CyclesDegraded)
+	}
+	hasSuspects := false
+	for _, name := range prof.Names() {
+		if prof.Series[name].Confidence() < 1 {
+			hasSuspects = true
+		}
+	}
+	fmt.Printf("%-22s %10s %10s %10s %8s", "parameter", "mean", "min", "max", "windows")
+	if hasSuspects {
+		fmt.Printf(" %6s", "conf")
+	}
+	fmt.Println()
 	for _, name := range prof.Names() {
 		se := prof.Series[name]
 		fmt.Printf("%-22s %10.4f %10.4f %10.4f %8d",
 			name, se.Mean(), se.Min(), se.Max(), len(se.Samples))
+		if hasSuspects {
+			fmt.Printf(" %5.1f%%", 100*se.Confidence())
+		}
 		if *plot {
 			fmt.Printf("  %s", se.Sparkline(48))
 		}

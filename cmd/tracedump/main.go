@@ -40,14 +40,25 @@ func main() {
 		os.Exit(1)
 	}
 
-	var dec tmsg.Decoder
-	msgs, consumed, err := dec.DecodeAll(raw)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "decode error at byte %d: %v\n", consumed, err)
-		os.Exit(1)
+	var msgs []tmsg.Msg
+	if n := tmsg.FrameLen(raw); n > 0 && n <= len(raw) && tmsg.ValidFrame(raw[:n]) {
+		// A framed stream (tcprof -framed / -faults): decode through the
+		// resynchronizing stream decoder and report the loss accounting.
+		sd := tmsg.NewStreamDecoder(true)
+		msgs = sd.Feed(raw)
+		fmt.Printf("%d bytes (framed), %d messages delivered, %d skipped, %d lost, %d gaps\n",
+			len(raw), sd.Delivered, sd.Skipped, sd.Lost, len(sd.Gaps))
+	} else {
+		var dec tmsg.Decoder
+		var consumed int
+		msgs, consumed, err = dec.DecodeAll(raw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "decode error at byte %d: %v\n", consumed, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d bytes, %d messages (%d trailing bytes incomplete)\n",
+			len(raw), len(msgs), len(raw)-consumed)
 	}
-	fmt.Printf("%d bytes, %d messages (%d trailing bytes incomplete)\n",
-		len(raw), len(msgs), len(raw)-consumed)
 
 	kinds := map[tmsg.Kind]int{}
 	srcs := map[uint8]int{}

@@ -8,6 +8,8 @@
 package dap
 
 import (
+	"bytes"
+
 	"repro/internal/emem"
 	"repro/internal/tmsg"
 )
@@ -44,17 +46,81 @@ func (c Config) BytesPerMCycle() uint64 {
 	// == BytesPerSecond / CPUFreqMHz, kept explicit for readability.
 }
 
+// LinkFault injects transport faults into the DAP connection. The fault
+// injector (internal/fault) implements it; a nil fault is a perfect link.
+type LinkFault interface {
+	// Down reports whether the link is unusable this cycle (cable stall /
+	// disconnect window). A down link drains nothing and earns no credit:
+	// the bandwidth is simply lost.
+	Down(cycle uint64) bool
+	// Transmit filters one frame on its way to the tool. It returns the
+	// bytes as received — possibly corrupted or truncated — and false when
+	// the frame vanished entirely.
+	Transmit(cycle uint64, frame []byte) ([]byte, bool)
+}
+
+// Drain-protocol defaults: bounded retries with exponential backoff. The
+// backoff is expressed in CPU cycles (the simulation time base).
+const (
+	// DefaultMaxRetries bounds the retransmission attempts per frame
+	// before the drain protocol gives up and moves on (the frame is then
+	// accounted as lost by the tool-side cumulative counters).
+	DefaultMaxRetries = 6
+	// DefaultBackoffBase is the first retry delay; attempt k waits
+	// base << min(k-1, 6) cycles.
+	DefaultBackoffBase = 64
+)
+
 // DAP drains the EMEM trace ring at the configured rate and accumulates
 // the bytes on the tool side.
+//
+// Two drain protocols are modelled. The raw protocol (Reliable == false)
+// moves bytes verbatim — the original happy-path model. The reliable
+// protocol (Reliable == true, for frame streams produced via
+// tmsg.Framer) validates each frame's CRC on arrival and NAKs corrupted
+// frames: the frame is retransmitted after a bounded exponential backoff,
+// and abandoned after MaxRetries attempts (a frame corrupted in the EMEM
+// itself never heals, so unbounded retry would wedge the link). Every
+// retransmission costs link bandwidth; only the first copy of each frame
+// rides the regular drain credit.
 type DAP struct {
 	Cfg  Config
 	Emem *emem.EMEM
 
-	// Received is the tool-side byte stream (decode with tmsg.Decoder).
+	// Received is the tool-side byte stream (decode with tmsg.Decoder, or
+	// tmsg.StreamDecoder in reliable/framed mode).
 	Received []byte
+
+	// Reliable selects the frame-aware CRC/NAK/retry drain protocol.
+	Reliable bool
+	// Fault, when non-nil, injects link faults (nil = perfect link).
+	Fault LinkFault
+	// MaxRetries and BackoffBase tune the retry protocol; zero values
+	// select the defaults.
+	MaxRetries  int
+	BackoffBase uint64
 
 	credit       uint64 // fixed-point byte credit, scaled by CPUFreq in Hz
 	TotalDrained uint64
+
+	// Reliable-mode state.
+	staging  []byte // drained bytes not yet assembled into frames
+	inflight []byte // frame awaiting successful transmission
+	attempts int
+	retryAt  uint64
+	lastTick uint64
+
+	// Incremental decode state.
+	dec     tmsg.Decoder
+	stream  *tmsg.StreamDecoder
+	decoded int
+	msgs    []tmsg.Msg
+
+	// Statistics.
+	FramesDelivered uint64
+	Retries         uint64 // NAKed transmission attempts
+	FramesAbandoned uint64 // frames given up after MaxRetries
+	GarbageBytes    uint64 // staging bytes discarded hunting for a frame
 }
 
 // New creates a DAP draining e.
@@ -62,40 +128,195 @@ func New(cfg Config, e *emem.EMEM) *DAP {
 	return &DAP{Cfg: cfg, Emem: e}
 }
 
+func (d *DAP) maxRetries() int {
+	if d.MaxRetries > 0 {
+		return d.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+func (d *DAP) backoffBase() uint64 {
+	if d.BackoffBase > 0 {
+		return d.BackoffBase
+	}
+	return DefaultBackoffBase
+}
+
 // Tick implements sim.Ticker: accumulate fractional byte credit per CPU
 // cycle and drain whole bytes.
-func (d *DAP) Tick(uint64) {
+func (d *DAP) Tick(cycle uint64) {
+	d.lastTick = cycle
+	if d.Fault != nil && d.Fault.Down(cycle) {
+		return // link down: no drain, no credit — the bandwidth is lost
+	}
 	d.credit += d.Cfg.BytesPerSecond()
 	denom := d.Cfg.CPUFreqMHz * 1_000_000
 	n := d.credit / denom
-	if n == 0 {
-		return
+	if n > 0 {
+		d.credit -= n * denom
 	}
-	d.credit -= n * denom
 	if d.Emem == nil {
 		return
 	}
-	b := d.Emem.Drain(uint32(n))
-	d.Received = append(d.Received, b...)
-	d.TotalDrained += uint64(len(b))
+	if !d.Reliable {
+		if n == 0 {
+			return
+		}
+		b := d.Emem.Drain(uint32(n))
+		d.Received = append(d.Received, b...)
+		d.TotalDrained += uint64(len(b))
+		return
+	}
+	if n > 0 {
+		b := d.Emem.Drain(uint32(n))
+		d.staging = append(d.staging, b...)
+		d.TotalDrained += uint64(len(b))
+	}
+	d.pump(cycle, false)
+}
+
+// pump pushes complete frames from staging over the (possibly faulty)
+// link. In flush mode (end of run) credit and backoff timing are ignored;
+// the retry bound still applies.
+func (d *DAP) pump(cycle uint64, flush bool) {
+	denom := d.Cfg.CPUFreqMHz * 1_000_000
+	for {
+		if d.inflight == nil {
+			d.inflight = d.nextFrame()
+			if d.inflight == nil {
+				return
+			}
+			d.attempts = 0
+		}
+		if !flush {
+			if cycle < d.retryAt {
+				return // backing off after a NAK
+			}
+			if d.attempts > 0 {
+				// A retransmission costs link bandwidth; the first copy
+				// was already paid for by the drain credit.
+				cost := uint64(len(d.inflight)) * denom
+				if d.credit < cost {
+					return
+				}
+				d.credit -= cost
+			}
+		}
+
+		out, ok := d.inflight, true
+		if d.Fault != nil {
+			out, ok = d.Fault.Transmit(cycle, d.inflight)
+		}
+		if ok && tmsg.ValidFrame(out) {
+			d.Received = append(d.Received, out...)
+			d.FramesDelivered++
+			d.inflight = nil
+			continue
+		}
+
+		// NAK: the tool rejects the frame (bad CRC or nothing arrived).
+		d.attempts++
+		d.Retries++
+		if d.attempts > d.maxRetries() {
+			// Give up — likely corrupted at the source (EMEM soft error),
+			// where retransmission re-reads the same bad bytes. The
+			// tool-side cumulative counters will account the loss.
+			d.FramesAbandoned++
+			d.inflight = nil
+			continue
+		}
+		if !flush {
+			shift := uint(d.attempts - 1)
+			if shift > 6 {
+				shift = 6
+			}
+			d.retryAt = cycle + d.backoffBase()<<shift
+			return
+		}
+	}
+}
+
+// nextFrame extracts one complete frame from staging, discarding garbage
+// prefixes (a corrupted length or marker byte desynchronizes the staging
+// stream until the next genuine marker). It returns nil when no complete
+// frame is available yet.
+func (d *DAP) nextFrame() []byte {
+	for {
+		i := bytes.IndexByte(d.staging, tmsg.FrameMarker)
+		if i < 0 {
+			d.GarbageBytes += uint64(len(d.staging))
+			d.staging = d.staging[:0]
+			return nil
+		}
+		if i > 0 {
+			d.GarbageBytes += uint64(i)
+			d.staging = append(d.staging[:0], d.staging[i:]...)
+		}
+		n := tmsg.FrameLen(d.staging)
+		if n == -1 {
+			return nil // header incomplete
+		}
+		if n == 0 {
+			// Implausible header: false marker. Skip one byte.
+			d.GarbageBytes++
+			d.staging = append(d.staging[:0], d.staging[1:]...)
+			continue
+		}
+		if n > len(d.staging) {
+			return nil // frame incomplete
+		}
+		frame := make([]byte, n)
+		copy(frame, d.staging)
+		d.staging = append(d.staging[:0], d.staging[n:]...)
+		return frame
+	}
 }
 
 // DrainAll empties the remaining buffer content (end of measurement run,
-// when real time no longer matters).
+// when real time no longer matters). In reliable mode the remaining
+// frames are pushed through the link with unlimited time — but still a
+// bounded number of retries each.
 func (d *DAP) DrainAll() {
 	if d.Emem == nil {
 		return
 	}
 	for d.Emem.Level() > 0 {
 		b := d.Emem.Drain(d.Emem.Level())
-		d.Received = append(d.Received, b...)
+		if d.Reliable {
+			d.staging = append(d.staging, b...)
+		} else {
+			d.Received = append(d.Received, b...)
+		}
 		d.TotalDrained += uint64(len(b))
+	}
+	if d.Reliable {
+		d.pump(d.lastTick, true)
 	}
 }
 
-// Decode parses every complete message received so far.
+// Stream returns the resynchronizing decoder used in reliable mode (nil
+// until Decode has run, or in raw mode).
+func (d *DAP) Stream() *tmsg.StreamDecoder { return d.stream }
+
+// Decode parses every complete message received so far. Decoding is
+// incremental: each call decodes only the bytes that arrived since the
+// previous call and appends to a cached message list, so calling it after
+// every drain step costs O(total bytes) overall instead of O(n²).
+//
+// In reliable mode the frame stream is decoded by a resynchronizing
+// tmsg.StreamDecoder and never returns a terminal error; losses appear as
+// Gaps on Stream().
 func (d *DAP) Decode() ([]tmsg.Msg, error) {
-	var dec tmsg.Decoder
-	msgs, _, err := dec.DecodeAll(d.Received)
-	return msgs, err
+	if d.Reliable {
+		if d.stream == nil {
+			d.stream = tmsg.NewStreamDecoder(true)
+		}
+		d.msgs = append(d.msgs, d.stream.Feed(d.Received[d.decoded:])...)
+		d.decoded = len(d.Received)
+		return d.msgs, nil
+	}
+	msgs, n, err := d.dec.DecodeAll(d.Received[d.decoded:])
+	d.decoded += n
+	d.msgs = append(d.msgs, msgs...)
+	return d.msgs, err
 }

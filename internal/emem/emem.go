@@ -26,12 +26,19 @@ type EMEM struct {
 	tail      uint32 // read offset
 	level     uint32 // bytes currently buffered
 
+	// Backpressure, while set, makes AppendTrace refuse every message as
+	// if the ring were full — the fault injector's trace-FIFO jam. The
+	// MCDS reacts exactly as it does to a genuine overflow (overflow
+	// marker + re-sync), so the jam is visible, not silent.
+	Backpressure bool
+
 	// Statistics.
 	MsgsWritten  uint64
 	BytesWritten uint64
 	MsgsDropped  uint64 // messages lost to a full buffer
 	BytesDrained uint64
 	PeakLevel    uint32
+	SoftErrors   uint64 // injected trace-ring bit flips
 }
 
 // New creates an EMEM of size bytes with the first overlayBytes reserved
@@ -68,7 +75,7 @@ func (e *EMEM) AppendTrace(msg []byte) bool {
 	if n == 0 {
 		return true
 	}
-	if n > e.traceSize-e.level {
+	if e.Backpressure || n > e.traceSize-e.level {
 		e.MsgsDropped++
 		return false
 	}
@@ -109,6 +116,24 @@ func (e *EMEM) Drain(n uint32) []byte {
 	e.level -= n
 	e.BytesDrained += uint64(n)
 	return out
+}
+
+// CorruptBit flips one bit of the i-th currently buffered byte (counted
+// from the read side). It models an EMEM soft error: SRAM content decays
+// under radiation or marginal timing, and — unlike a link error — a
+// retransmission re-reads the same corrupted cell, so only the frame CRC
+// on the tool side can catch it. A no-op when i is outside the buffered
+// region.
+func (e *EMEM) CorruptBit(i uint32, bit uint8) {
+	if i >= e.level {
+		return
+	}
+	pos := (e.tail + i) % e.traceSize
+	var b [1]byte
+	e.RAM.Read(mem.EMEMBase+e.traceBase+pos, b[:])
+	b[0] ^= 1 << (bit & 7)
+	e.RAM.Write(mem.EMEMBase+e.traceBase+pos, b[:])
+	e.SoftErrors++
 }
 
 // Page describes one calibration overlay redirection: accesses to the

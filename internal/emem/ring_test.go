@@ -1,0 +1,145 @@
+package emem
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestTraceRingProperty drives the trace ring with random interleaved
+// AppendTrace/Drain sequences and checks every drained byte against a
+// plain-slice reference model. The schedule deliberately walks the ring
+// through wraparounds and exact-fit boundaries (messages sized to exactly
+// the remaining free space).
+func TestTraceRingProperty(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 0xDEAD} {
+		rng := sim.NewRNG(seed)
+		const capacity = 257 // prime: wrap offsets never repeat in step
+		e := New(capacity, 0, 1)
+
+		var ref []byte // reference model: bytes written, not yet drained
+		var written, dropped uint64
+		next := byte(0)
+
+		genMsg := func(n int) []byte {
+			m := make([]byte, n)
+			for i := range m {
+				m[i] = next
+				next++
+			}
+			return m
+		}
+
+		for op := 0; op < 4000; op++ {
+			switch rng.Intn(3) {
+			case 0, 1: // append (biased: keeps the ring near full)
+				n := rng.Range(1, 40)
+				if rng.Bool(0.1) {
+					// Exact fit: message sized to the free space, forcing
+					// the head right up to the tail.
+					free := int(e.TraceCapacity() - e.Level())
+					if free == 0 {
+						continue
+					}
+					if free > 40 {
+						free = 40
+					}
+					n = free
+				}
+				msg := genMsg(n)
+				ok := e.AppendTrace(msg)
+				wantOK := len(ref)+n <= capacity
+				if ok != wantOK {
+					t.Fatalf("seed %d op %d: AppendTrace(%d bytes) = %v, reference says %v (level %d)",
+						seed, op, n, ok, wantOK, len(ref))
+				}
+				if ok {
+					ref = append(ref, msg...)
+					written++
+				} else {
+					// The message must be dropped whole: the ring state
+					// and reference stay untouched.
+					next -= byte(n)
+					dropped++
+				}
+			case 2: // drain
+				n := rng.Range(0, 60)
+				got := e.Drain(uint32(n))
+				want := n
+				if want > len(ref) {
+					want = len(ref)
+				}
+				if !bytes.Equal(got, ref[:want]) {
+					t.Fatalf("seed %d op %d: Drain(%d) returned wrong bytes", seed, op, n)
+				}
+				ref = ref[want:]
+			}
+			if e.Level() != uint32(len(ref)) {
+				t.Fatalf("seed %d op %d: Level = %d, reference %d", seed, op, e.Level(), len(ref))
+			}
+		}
+
+		// Drain the remainder and verify byte-for-byte.
+		got := e.Drain(e.Level())
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("seed %d: final drain mismatch", seed)
+		}
+		if e.MsgsWritten != written || e.MsgsDropped != dropped {
+			t.Fatalf("seed %d: stats written=%d/%d dropped=%d/%d",
+				seed, e.MsgsWritten, written, e.MsgsDropped, dropped)
+		}
+	}
+}
+
+// TestBackpressureRefusesAppends checks the fault-injection jam hook: while
+// Backpressure is set every append fails and counts a drop, and clearing
+// it restores normal operation with ring state intact.
+func TestBackpressureRefusesAppends(t *testing.T) {
+	e := New(128, 0, 1)
+	if !e.AppendTrace([]byte{1, 2, 3}) {
+		t.Fatal("append failed on empty ring")
+	}
+	e.Backpressure = true
+	if e.AppendTrace([]byte{4, 5}) {
+		t.Fatal("append succeeded under backpressure")
+	}
+	if e.MsgsDropped != 1 {
+		t.Fatalf("MsgsDropped = %d, want 1", e.MsgsDropped)
+	}
+	e.Backpressure = false
+	if !e.AppendTrace([]byte{6}) {
+		t.Fatal("append failed after backpressure cleared")
+	}
+	got := e.Drain(e.Level())
+	if !bytes.Equal(got, []byte{1, 2, 3, 6}) {
+		t.Fatalf("drained %v, want [1 2 3 6]", got)
+	}
+}
+
+// TestCorruptBitFlipsBufferedByte checks the soft-error hook flips exactly
+// one bit of the addressed buffered byte, honouring the ring wrap.
+func TestCorruptBitFlipsBufferedByte(t *testing.T) {
+	e := New(8, 0, 1)
+	// Wrap the ring: fill 6, drain 6, fill 5 → occupied region wraps.
+	e.AppendTrace([]byte{0, 0, 0, 0, 0, 0})
+	e.Drain(6)
+	e.AppendTrace([]byte{0x10, 0x20, 0x30, 0x40, 0x50})
+
+	e.CorruptBit(3, 1) // byte index 3 (= 0x40), flip bit 1
+	if e.SoftErrors != 1 {
+		t.Fatalf("SoftErrors = %d, want 1", e.SoftErrors)
+	}
+	got := e.Drain(5)
+	want := []byte{0x10, 0x20, 0x30, 0x42, 0x50}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("after CorruptBit: drained %v, want %v", got, want)
+	}
+
+	// Out-of-range index is a no-op.
+	e.AppendTrace([]byte{1})
+	e.CorruptBit(99, 0)
+	if e.SoftErrors != 1 {
+		t.Fatal("out-of-range CorruptBit counted a soft error")
+	}
+}

@@ -75,10 +75,28 @@ type MCDS struct {
 
 	enc     tmsg.Encoder
 	scratch []byte
+	framer  *tmsg.Framer
 
 	// SyncEvery emits a periodic re-anchor per flow-traced core every N
 	// cycles (0 = only when needed).
 	SyncEvery uint64
+
+	// AnchorEvery, when non-zero, re-anchors EVERY active trace source at
+	// least every N cycles (not just flow-traced cores). It bounds the
+	// tool-side recovery window after link loss: a resynchronizing decoder
+	// discards a source's messages until its next Sync, so without
+	// periodic anchors a single lost frame would poison counter and bus
+	// sources to the end of the run. Enabled by hardened (framed)
+	// profiling sessions; off by default so the clean-path byte stream is
+	// unchanged.
+	AnchorEvery uint64
+	lastAnchor  uint64
+
+	// OnEmit, when non-nil, observes every message accepted into the
+	// trace stream (after overflow/sync protocol insertions). It is the
+	// ground-truth mirror chaos tests compare the decoded stream against;
+	// it must not mutate the message.
+	OnEmit func(*tmsg.Msg)
 
 	pendingLost uint64
 	needSync    [tmsg.MaxSources]bool
@@ -116,10 +134,46 @@ func (m *MCDS) set(s Signal) {
 	}
 }
 
+// EnableFraming routes every emitted message through the CRC/seq frame
+// layer (tmsg.Framer) on its way into the EMEM. Pair it with a reliable
+// DAP (dap.DAP.Reliable) and a framed tool-side decoder. Call before the
+// first emitted message.
+func (m *MCDS) EnableFraming() {
+	if m.framer != nil {
+		return
+	}
+	m.framer = &tmsg.Framer{Sink: func(frame []byte) bool {
+		if m.Sink == nil {
+			return true
+		}
+		return m.Sink.AppendTrace(frame)
+	}}
+}
+
+// Framer exposes the frame layer (nil when framing is disabled).
+func (m *MCDS) Framer() *tmsg.Framer { return m.framer }
+
+// FlushTrace flushes a partially filled frame into the sink (end of run).
+// A no-op without framing.
+func (m *MCDS) FlushTrace() {
+	if m.framer == nil {
+		return
+	}
+	if dropped := m.framer.Flush(); dropped > 0 {
+		m.noteFrameDrop(dropped)
+	}
+}
+
 // Tick implements sim.Ticker. Evaluation order within a cycle: observation
 // blocks (trace generation, comparators) → counters → state machines →
 // trigger rules.
 func (m *MCDS) Tick(cycle uint64) {
+	if m.AnchorEvery > 0 && cycle-m.lastAnchor >= m.AnchorEvery {
+		for i := range m.needSync {
+			m.needSync[i] = true
+		}
+		m.lastAnchor = cycle
+	}
 	for i := range m.signals {
 		m.signals[i] = false
 	}
@@ -147,14 +201,15 @@ func (m *MCDS) Tick(cycle uint64) {
 func (m *MCDS) emit(msg *tmsg.Msg) {
 	if m.pendingLost > 0 && msg.Kind != tmsg.KindOverflow {
 		of := tmsg.Msg{Kind: tmsg.KindOverflow, Src: 0, Lost: m.pendingLost}
-		m.scratch = m.enc.Encode(m.scratch[:0], &of)
-		if m.Sink != nil && !m.Sink.AppendTrace(m.scratch) {
-			m.pendingLost++
+		// Zero pendingLost before the store: a framer flush inside the
+		// store may drop further messages, and those must accumulate into
+		// a fresh count rather than be cleared below.
+		m.pendingLost = 0
+		if !m.store(&of) {
+			m.pendingLost += of.Lost + 1
 			m.MsgsLost++
 			return // still no room; drop the current message too
 		}
-		m.account()
-		m.pendingLost = 0
 	}
 	if m.needSync[msg.Src] && msg.Kind != tmsg.KindSync && msg.Kind != tmsg.KindOverflow {
 		// Re-anchor this source's delta state. Flow-traced cores emit
@@ -182,13 +237,44 @@ func (m *MCDS) emit(msg *tmsg.Msg) {
 }
 
 // store encodes and appends one message, returning false on overflow.
+//
+// With framing enabled the message always enters the current frame (the
+// framer decides its fate when that frame flushes), so store never fails —
+// but a flush triggered by the append may drop a *previous* frame whose
+// sink refused it, which is accounted like a direct overflow.
 func (m *MCDS) store(msg *tmsg.Msg) bool {
 	m.scratch = m.enc.Encode(m.scratch[:0], msg)
+	if m.framer != nil {
+		dropped := m.framer.Append(m.scratch)
+		m.account()
+		if m.OnEmit != nil {
+			m.OnEmit(msg)
+		}
+		if dropped > 0 {
+			m.noteFrameDrop(dropped)
+		}
+		return true
+	}
 	if m.Sink != nil && !m.Sink.AppendTrace(m.scratch) {
 		return false
 	}
 	m.account()
+	if m.OnEmit != nil {
+		m.OnEmit(msg)
+	}
 	return true
+}
+
+// noteFrameDrop accounts n messages lost because the framer's sink refused
+// a completed frame (trace buffer full at flush time). The recovery
+// protocol is the same as for a direct overflow: the next emit inserts an
+// Overflow marker and every source re-anchors its delta state.
+func (m *MCDS) noteFrameDrop(n uint64) {
+	m.MsgsLost += n
+	m.pendingLost += n
+	for i := range m.needSync {
+		m.needSync[i] = true
+	}
 }
 
 func (m *MCDS) account() {

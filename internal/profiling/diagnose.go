@@ -83,6 +83,11 @@ func (p *Profile) Diagnose(watchParam string, lo float64) []Diagnosis {
 		if w.Rate() >= lo {
 			continue
 		}
+		if w.Suspect {
+			// The window overlaps a trace-loss gap: a low rate here may be
+			// an artifact of what vanished around it, not evidence.
+			continue
+		}
 		diag := Diagnosis{Window: w}
 		for name, se := range p.Series {
 			if name == watchParam {
@@ -98,6 +103,10 @@ func (p *Profile) Diagnose(watchParam string, lo float64) []Diagnosis {
 				sd = 1e-9
 			}
 			excess := (s.Rate() - b.mean) / sd
+			if s.Suspect {
+				// Down-weight evidence from windows touched by trace loss.
+				excess /= 2
+			}
 			if excess > 0.5 { // only meaningfully elevated parameters
 				diag.Factors = append(diag.Factors, Factor{
 					Param: name, Baseline: b.mean, Observed: s.Rate(), Excess: excess,

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/dap"
+	"repro/internal/fault"
 	"repro/internal/mcds"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -103,7 +104,34 @@ type Spec struct {
 	// the run; nil reads the buffer out at the end (short runs that fit
 	// on-chip).
 	DAP *dap.Config
+
+	// Framed hardens the trace path: messages travel in CRC/seq frames
+	// (tmsg.Framer), the DAP uses the reliable NAK/retry drain protocol,
+	// and the tool side decodes with a resynchronizing StreamDecoder that
+	// quantifies losses as Gaps instead of failing. Costs the documented
+	// <15 % framing overhead on the link.
+	Framed bool
+
+	// Fault attaches a fault-injection plan to the session (implies
+	// Framed — an unframed stream cannot survive corruption).
+	Fault *fault.Plan
+
+	// Degrade enables the graceful-degradation controller: when the EMEM
+	// fill level crosses the high watermark, every rate counter's
+	// resolution is widened (fewer, coarser messages) until the level
+	// recedes below the low watermark. Rates stay exact because each rate
+	// message carries its actual basis.
+	Degrade *DegradePolicy
 }
+
+// framed reports whether the hardened trace path is active.
+func (sp *Spec) framed() bool { return sp.Framed || sp.Fault.Active() }
+
+// DefaultAnchorEvery is the periodic all-source re-anchor interval of
+// framed sessions, in cycles. After a loss the tool discards a source's
+// delta-coded messages until its next Sync, so this bounds the worst-case
+// recovery latency per series.
+const DefaultAnchorEvery = 4096
 
 // Session is a configured profiling run: an MCDS programmed from a Spec,
 // attached to a SoC.
@@ -112,6 +140,12 @@ type Session struct {
 	MCDS *mcds.MCDS
 	DAP  *dap.DAP
 	Regs *mcds.RegFile // memory-mapped EEC access (monitor/MLI path)
+
+	// Injector is the active fault injector (nil without Spec.Fault).
+	Injector *fault.Injector
+	// Degrader is the graceful-degradation controller (nil without
+	// Spec.Degrade).
+	Degrader *Degrader
 
 	spec     Spec
 	params   []Param
@@ -218,9 +252,32 @@ func NewSession(s *soc.SoC, spec Spec) *Session {
 		sess.params = append(sess.params, p)
 	}
 
+	if spec.framed() {
+		m.EnableFraming()
+		// Re-anchor every source periodically so the tool recovers every
+		// series within one anchor period after a loss, not just the
+		// flow-traced cores. The period bounds the recovery latency; the
+		// cost is one small Sync per active source per period.
+		m.AnchorEvery = DefaultAnchorEvery
+	}
+
 	s.Clock.Attach("mcds", m)
+	if spec.Fault.Active() {
+		sess.Injector = fault.New(*spec.Fault, s.EMEM)
+		// Attached before the DAP: a stall window opened at cycle c
+		// already blocks that cycle's drain.
+		s.Clock.Attach("fault", sess.Injector)
+	}
+	if spec.Degrade != nil {
+		sess.Degrader = newDegrader(*spec.Degrade, s.EMEM, sess.counters)
+		s.Clock.Attach("degrade", sess.Degrader)
+	}
 	if spec.DAP != nil {
 		sess.DAP = dap.New(*spec.DAP, s.EMEM)
+		sess.DAP.Reliable = spec.framed()
+		if sess.Injector != nil {
+			sess.DAP.Fault = sess.Injector
+		}
 		s.Clock.Attach("dap", sess.DAP)
 	}
 
@@ -253,6 +310,12 @@ type Sample struct {
 	Cycle uint64 // window end
 	Basis uint64
 	Count uint64
+
+	// Suspect marks a window that overlaps a trace-loss gap: the sample
+	// itself is exact (its message arrived intact), but neighbouring
+	// windows vanished, so analyses that reason about *when* things
+	// happened should down-weight it.
+	Suspect bool
 }
 
 // Rate returns count/basis.
@@ -307,14 +370,34 @@ func (se *Series) Max() float64 {
 	return m
 }
 
+// Confidence returns the fraction of windows untouched by trace loss
+// (1.0 = every sample clean).
+func (se *Series) Confidence() float64 {
+	if len(se.Samples) == 0 {
+		return 1
+	}
+	clean := 0
+	for _, s := range se.Samples {
+		if !s.Suspect {
+			clean++
+		}
+	}
+	return float64(clean) / float64(len(se.Samples))
+}
+
 // Profile is the decoded result of a profiling run.
 type Profile struct {
 	App        string
 	Cycles     uint64
 	Instr      uint64
 	Series     map[string]*Series
-	MsgsLost   uint64
+	MsgsLost   uint64 // messages dropped at the emitter (buffer overflow)
 	TraceBytes uint64 // bytes the MCDS emitted
+
+	// Framed-session loss accounting (zero on clean runs).
+	MsgsDelivered uint64     // messages that reached the tool intact
+	LinkLost      uint64     // messages lost or skipped between MCDS and tool
+	Gaps          []tmsg.Gap // where in the timeline the losses sit
 }
 
 // Rate returns the run-aggregate rate of the named parameter.
@@ -337,18 +420,38 @@ func (p *Profile) Names() []string {
 
 // Result drains remaining trace data, decodes every rate message and
 // assembles the profile. Call after the measurement run.
+//
+// On framed sessions the stream is decoded by a resynchronizing decoder:
+// decode never fails, losses are quantified in LinkLost and located in
+// Gaps, and samples whose window overlaps a gap carry Suspect.
 func (sess *Session) Result(appName string) (*Profile, error) {
-	var raw []byte
-	if sess.DAP != nil {
-		sess.DAP.DrainAll()
-		raw = sess.DAP.Received
+	sess.MCDS.FlushTrace() // push the partial frame out (no-op unframed)
+	var msgs []tmsg.Msg
+	var stream *tmsg.StreamDecoder
+	if sess.spec.framed() {
+		if sess.DAP != nil {
+			sess.DAP.DrainAll()
+			msgs, _ = sess.DAP.Decode()
+			stream = sess.DAP.Stream()
+		} else {
+			stream = tmsg.NewStreamDecoder(true)
+			msgs = stream.Feed(sess.SoC.EMEM.Drain(sess.SoC.EMEM.Level()))
+		}
+		stream.Finalize(sess.MCDS.Framer().MsgsFramed)
 	} else {
-		raw = sess.SoC.EMEM.Drain(sess.SoC.EMEM.Level())
-	}
-	var dec tmsg.Decoder
-	msgs, _, err := dec.DecodeAll(raw)
-	if err != nil {
-		return nil, fmt.Errorf("profiling: decode: %w", err)
+		var raw []byte
+		if sess.DAP != nil {
+			sess.DAP.DrainAll()
+			raw = sess.DAP.Received
+		} else {
+			raw = sess.SoC.EMEM.Drain(sess.SoC.EMEM.Level())
+		}
+		var dec tmsg.Decoder
+		var err error
+		msgs, _, err = dec.DecodeAll(raw)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: decode: %w", err)
+		}
 	}
 	p := &Profile{
 		App:        appName,
@@ -371,5 +474,33 @@ func (sess *Session) Result(appName string) (*Profile, error) {
 		se := p.Series[sess.params[m.CounterID].Name]
 		se.Samples = append(se.Samples, Sample{Cycle: m.Cycle, Basis: m.Basis, Count: m.Count})
 	}
+	if stream != nil {
+		p.MsgsDelivered = stream.Delivered
+		p.LinkLost = stream.AccountedLost()
+		p.Gaps = stream.Gaps
+		for _, se := range p.Series {
+			markSuspect(se, p.Gaps)
+		}
+	}
 	return p, nil
+}
+
+// markSuspect flags every sample whose window (prev sample's end, own end]
+// overlaps a loss gap.
+func markSuspect(se *Series, gaps []tmsg.Gap) {
+	prev := uint64(0)
+	for i := range se.Samples {
+		s := &se.Samples[i]
+		for _, g := range gaps {
+			end := g.EndCycle
+			if g.Open() {
+				end = ^uint64(0)
+			}
+			if g.StartCycle < s.Cycle && end > prev {
+				s.Suspect = true
+				break
+			}
+		}
+		prev = s.Cycle
+	}
 }
