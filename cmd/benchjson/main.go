@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON benchmark report, so CI can archive benchmark runs
+// as machine-readable artifacts and later runs can be diffed.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x ./... | benchjson -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name string  `json:"name"`
+	Pkg  string  `json:"pkg,omitempty"`
+	Runs uint64  `json:"runs"`
+	NsOp float64 `json:"ns_per_op"`
+	// Optional -benchmem / custom metrics, keyed by unit (e.g. "B/op").
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the artifact schema.
+type Report struct {
+	Schema  int      `json:"schema_version"`
+	GoOS    string   `json:"goos,omitempty"`
+	GoArch  string   `json:"goarch,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := Report{Schema: 1}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseBench(line)
+			if ok {
+				r.Pkg = pkg
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}
+
+// parseBench parses one "BenchmarkName-8  123  45.6 ns/op [...]" line.
+func parseBench(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseUint(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: strings.TrimSuffix(f[0], "-"+cpuSuffix(f[0])), Runs: runs}
+	// Value/unit pairs follow: "45.6 ns/op", "16 B/op", "2 allocs/op".
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		if f[i+1] == "ns/op" {
+			r.NsOp = v
+			continue
+		}
+		if r.Extra == nil {
+			r.Extra = map[string]float64{}
+		}
+		r.Extra[f[i+1]] = v
+	}
+	return r, r.NsOp > 0
+}
+
+// cpuSuffix returns the trailing GOMAXPROCS decoration ("8" in
+// "BenchmarkFoo-8"), or "" when absent.
+func cpuSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i+1:]
+}

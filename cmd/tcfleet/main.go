@@ -1,0 +1,158 @@
+// Command tcfleet aggregates machine-readable run reports (written by
+// tcprof -json) into the fleet-level statistical profile the paper's
+// methodology targets: per-parameter distributions across many runs,
+// confidence-weighted so lossy runs influence the result less, with
+// statistical outliers flagged for the engineer.
+//
+// Usage:
+//
+//	tcfleet [-json] [-out fleet.json] report-dir|report.json ...
+//
+// Each argument is a run-report file or a directory whose *.json files
+// are ingested. Reports with an unknown or newer schema are skipped with
+// a warning.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/profiling"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tcfleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	jsonOut := flag.Bool("json", false, "print the fleet profile as JSON instead of tables")
+	outPath := flag.String("out", "", "additionally write the fleet profile JSON to this file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return fmt.Errorf("no inputs; usage: tcfleet [-json] [-out fleet.json] report-dir|report.json ...")
+	}
+
+	paths, err := collect(flag.Args())
+	if err != nil {
+		return err
+	}
+	var ids []string
+	var reports []*profiling.RunReport
+	skipped := 0
+	for _, p := range paths {
+		r, err := profiling.LoadRunReport(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcfleet: skipping %v\n", err)
+			skipped++
+			continue
+		}
+		ids = append(ids, filepath.Base(p))
+		reports = append(reports, r)
+	}
+	if len(reports) == 0 {
+		return fmt.Errorf("no valid run reports among %d file(s)", len(paths))
+	}
+
+	fp, err := profiling.Aggregate(ids, reports)
+	if err != nil {
+		return err
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(f, fp); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		return writeJSON(os.Stdout, fp)
+	}
+	print(fp, skipped)
+	return nil
+}
+
+// collect expands directory arguments into their *.json files.
+func collect(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			out = append(out, a)
+			continue
+		}
+		ents, err := os.ReadDir(a)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+				out = append(out, filepath.Join(a, e.Name()))
+				n++
+			}
+		}
+		if n == 0 {
+			fmt.Fprintf(os.Stderr, "tcfleet: %s contains no *.json reports\n", a)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func writeJSON(w io.Writer, fp *profiling.FleetProfile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fp)
+}
+
+func print(fp *profiling.FleetProfile, skipped int) {
+	var cycles uint64
+	for _, r := range fp.Runs {
+		cycles += r.Cycles
+	}
+	fmt.Printf("fleet: %d runs", len(fp.Runs))
+	if skipped > 0 {
+		fmt.Printf(" (%d skipped)", skipped)
+	}
+	fmt.Printf(", %d cycles total\n\n", cycles)
+
+	fmt.Printf("%-28s %-10s %-12s %10s %8s\n", "run", "soc", "faults", "conf", "weight")
+	for _, r := range fp.Runs {
+		faults := r.FaultPlan
+		if faults == "" {
+			faults = "-"
+		}
+		fmt.Printf("%-28s %-10s %-12s %9.1f%% %8.3f\n",
+			r.ID, r.SoC, faults, 100*r.Confidence, r.Weight)
+	}
+
+	fmt.Printf("\n%-22s %5s %10s %10s %10s %10s %10s %10s\n",
+		"parameter", "runs", "wmean", "mean", "p50", "p95", "min", "max")
+	for _, p := range fp.Params {
+		fmt.Printf("%-22s %5d %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f",
+			p.Param, p.Runs, p.WeightedMean, p.Mean, p.P50, p.P95, p.Min, p.Max)
+		if len(p.Outliers) > 0 {
+			fmt.Printf("  OUTLIERS: %s", strings.Join(p.Outliers, ","))
+		}
+		fmt.Println()
+	}
+}

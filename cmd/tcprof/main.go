@@ -1,28 +1,41 @@
 // Command tcprof runs the Enhanced System Profiling methodology on an
 // Emulation Device: all standard parameters are measured dynamically and
 // in parallel by the MCDS, drained over the DAP model, and printed as a
-// summary plus (optionally) a CSV timeline.
+// summary plus (optionally) a CSV timeline, a machine-readable run
+// report, and a Chrome trace of the pipeline phases.
 //
 // Usage:
 //
 //	tcprof [-soc TC1797|TC1767] [-seed N] [-cycles N] [-res N]
 //	       [-csv timeline.csv] [-rawtrace trace.bin] [-flow]
 //	       [-faults scenario|k=v,...] [-framed] [-degrade]
+//	       [-json report.json] [-trace spans.json] [-metrics :addr]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 
 	"repro/internal/dap"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/soc"
 	"repro/internal/workload"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tcprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	socName := flag.String("soc", "TC1797", "SoC preset (the ED twin is used)")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	cycles := flag.Uint64("cycles", 1_000_000, "measurement horizon in CPU cycles")
@@ -35,6 +48,9 @@ func main() {
 	faults := flag.String("faults", "", "fault scenario (clean|noisy-link|flaky-cable|soft-errors|fifo-jam|everything) or k=v list (corrupt=,trunc=,drop=,stall=,stallmin=,stallmax=,flip=,jam=,jammin=,jammax=)")
 	framed := flag.Bool("framed", false, "harden the trace path: CRC/seq frames + reliable DAP (implied by -faults)")
 	degrade := flag.Bool("degrade", false, "enable graceful degradation (widen resolution under buffer pressure)")
+	jsonPath := flag.String("json", "", "write the versioned machine-readable run report (aggregate with tcfleet)")
+	tracePath := flag.String("trace", "", "write the pipeline phases as a Chrome trace (load in about://tracing)")
+	metricsAddr := flag.String("metrics", "", "serve live pipeline metrics at http://ADDR/metrics for the duration of the run")
 	flag.Parse()
 
 	var cfg soc.Config
@@ -44,8 +60,7 @@ func main() {
 	case "TC1767":
 		cfg = soc.TC1767()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown SoC %q\n", *socName)
-		os.Exit(1)
+		return fmt.Errorf("unknown SoC %q", *socName)
 	}
 	cfg = cfg.WithED()
 
@@ -57,8 +72,7 @@ func main() {
 	s := soc.New(cfg, *seed)
 	app, err := workload.Build(s, spec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 
 	params := append(profiling.StandardParams(), profiling.PCPParams()...)
@@ -69,30 +83,50 @@ func main() {
 	if *faults != "" {
 		plan, err := fault.Parse(*faults, *seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		profSpec.Fault = &plan
 	}
 	if *degrade {
 		profSpec.Degrade = &profiling.DegradePolicy{}
 	}
+	if *jsonPath != "" || *metricsAddr != "" {
+		profSpec.Obs = obs.New()
+	}
+	if *tracePath != "" {
+		profSpec.Tracer = obs.NewTracer()
+	}
 	sess := profiling.NewSession(s, profSpec)
 	if *flow {
 		sess.CPUObs().FlowTrace = true
 	}
 
-	app.RunFor(*cycles)
-	prof, err := sess.Result(spec.Name)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", profSpec.Obs)
+		go http.Serve(ln, mux)
+		fmt.Printf("metrics: serving http://%s/metrics\n", ln.Addr())
 	}
 
+	sess.Run(app, *cycles)
+	prof, err := sess.Result(spec.Name)
+	if err != nil {
+		return err
+	}
+
+	e := s.EMEM
 	fmt.Printf("%s  %d cycles  %d instructions  resolution %d\n",
 		cfg.Name, prof.Cycles, prof.Instr, *res)
 	fmt.Printf("trace: %d bytes emitted, %d messages lost, DAP drained %d bytes\n",
 		prof.TraceBytes, prof.MsgsLost, sess.DAP.TotalDrained)
+	fmt.Printf("ring: peak %d / %d bytes (%.1f%%), %d overflows\n",
+		e.PeakLevel, e.TraceCapacity(),
+		100*float64(e.PeakLevel)/float64(e.TraceCapacity()), e.MsgsDropped)
 	if inj := sess.Injector; inj != nil {
 		fmt.Printf("faults[%s]: %d corrupted, %d truncated, %d dropped, %d stalls (%d cyc), %d bit flips, %d jams (%d cyc)\n",
 			inj.Plan.Name, inj.FramesCorrupted, inj.FramesTruncated, inj.FramesDropped,
@@ -166,25 +200,62 @@ func main() {
 	}
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := writeCSV(*csvPath, prof); err != nil {
+			return err
 		}
-		fmt.Fprintln(f, "param,cycle,basis,count,rate")
-		for _, name := range prof.Names() {
-			for _, smp := range prof.Series[name].Samples {
-				fmt.Fprintf(f, "%s,%d,%d,%d,%.6f\n", name, smp.Cycle, smp.Basis, smp.Count, smp.Rate())
-			}
-		}
-		f.Close()
 		fmt.Printf("timeline written to %s\n", *csvPath)
 	}
 	if *rawPath != "" {
 		if err := os.WriteFile(*rawPath, sess.DAP.Received, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("raw trace written to %s (%d bytes)\n", *rawPath, len(sess.DAP.Received))
 	}
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, sess.RunReport(prof, *seed).WriteJSON); err != nil {
+			return err
+		}
+		fmt.Printf("run report written to %s\n", *jsonPath)
+	}
+	if *tracePath != "" {
+		if err := writeFile(*tracePath, profSpec.Tracer.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Printf("pipeline trace written to %s\n", *tracePath)
+	}
+	return nil
+}
+
+// writeFile creates path and streams write into it, surfacing both write
+// and close errors (a full disk must not yield a silent truncated file).
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func writeCSV(path string, prof *profiling.Profile) error {
+	return writeFile(path, func(f io.Writer) error {
+		if _, err := fmt.Fprintln(f, "param,cycle,basis,count,rate"); err != nil {
+			return err
+		}
+		for _, name := range prof.Names() {
+			for _, smp := range prof.Series[name].Samples {
+				if _, err := fmt.Fprintf(f, "%s,%d,%d,%d,%.6f\n",
+					name, smp.Cycle, smp.Basis, smp.Count, smp.Rate()); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
 }

@@ -11,6 +11,7 @@ import (
 	"bytes"
 
 	"repro/internal/emem"
+	"repro/internal/obs"
 	"repro/internal/tmsg"
 )
 
@@ -121,6 +122,39 @@ type DAP struct {
 	Retries         uint64 // NAKed transmission attempts
 	FramesAbandoned uint64 // frames given up after MaxRetries
 	GarbageBytes    uint64 // staging bytes discarded hunting for a frame
+	BackoffCycles   uint64 // cycles spent waiting out NAK backoff windows
+
+	obs dapObs
+}
+
+// dapObs holds the link's metric handles (nil handles no-op when the DAP
+// is uninstrumented).
+type dapObs struct {
+	drained   *obs.Counter // dap.bytes_drained
+	delivered *obs.Counter // dap.frames_delivered
+	retries   *obs.Counter // dap.retries
+	abandoned *obs.Counter // dap.frames_abandoned
+	garbage   *obs.Counter // dap.garbage_bytes
+	backoff   *obs.Counter // dap.backoff_cycles
+	downCyc   *obs.Counter // dap.link_down_cycles
+}
+
+// Instrument publishes the tool-link metrics into reg: drained bytes,
+// delivered frames, and the NAK/retry/backoff loss totals. A nil registry
+// is a no-op.
+func (d *DAP) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	d.obs = dapObs{
+		drained:   reg.Counter("dap.bytes_drained"),
+		delivered: reg.Counter("dap.frames_delivered"),
+		retries:   reg.Counter("dap.retries"),
+		abandoned: reg.Counter("dap.frames_abandoned"),
+		garbage:   reg.Counter("dap.garbage_bytes"),
+		backoff:   reg.Counter("dap.backoff_cycles"),
+		downCyc:   reg.Counter("dap.link_down_cycles"),
+	}
 }
 
 // New creates a DAP draining e.
@@ -147,6 +181,7 @@ func (d *DAP) backoffBase() uint64 {
 func (d *DAP) Tick(cycle uint64) {
 	d.lastTick = cycle
 	if d.Fault != nil && d.Fault.Down(cycle) {
+		d.obs.downCyc.Inc()
 		return // link down: no drain, no credit — the bandwidth is lost
 	}
 	d.credit += d.Cfg.BytesPerSecond()
@@ -165,12 +200,14 @@ func (d *DAP) Tick(cycle uint64) {
 		b := d.Emem.Drain(uint32(n))
 		d.Received = append(d.Received, b...)
 		d.TotalDrained += uint64(len(b))
+		d.obs.drained.Add(uint64(len(b)))
 		return
 	}
 	if n > 0 {
 		b := d.Emem.Drain(uint32(n))
 		d.staging = append(d.staging, b...)
 		d.TotalDrained += uint64(len(b))
+		d.obs.drained.Add(uint64(len(b)))
 	}
 	d.pump(cycle, false)
 }
@@ -210,6 +247,7 @@ func (d *DAP) pump(cycle uint64, flush bool) {
 		if ok && tmsg.ValidFrame(out) {
 			d.Received = append(d.Received, out...)
 			d.FramesDelivered++
+			d.obs.delivered.Inc()
 			d.inflight = nil
 			continue
 		}
@@ -217,11 +255,13 @@ func (d *DAP) pump(cycle uint64, flush bool) {
 		// NAK: the tool rejects the frame (bad CRC or nothing arrived).
 		d.attempts++
 		d.Retries++
+		d.obs.retries.Inc()
 		if d.attempts > d.maxRetries() {
 			// Give up — likely corrupted at the source (EMEM soft error),
 			// where retransmission re-reads the same bad bytes. The
 			// tool-side cumulative counters will account the loss.
 			d.FramesAbandoned++
+			d.obs.abandoned.Inc()
 			d.inflight = nil
 			continue
 		}
@@ -230,7 +270,10 @@ func (d *DAP) pump(cycle uint64, flush bool) {
 			if shift > 6 {
 				shift = 6
 			}
-			d.retryAt = cycle + d.backoffBase()<<shift
+			wait := d.backoffBase() << shift
+			d.retryAt = cycle + wait
+			d.BackoffCycles += wait
+			d.obs.backoff.Add(wait)
 			return
 		}
 	}
@@ -245,11 +288,13 @@ func (d *DAP) nextFrame() []byte {
 		i := bytes.IndexByte(d.staging, tmsg.FrameMarker)
 		if i < 0 {
 			d.GarbageBytes += uint64(len(d.staging))
+			d.obs.garbage.Add(uint64(len(d.staging)))
 			d.staging = d.staging[:0]
 			return nil
 		}
 		if i > 0 {
 			d.GarbageBytes += uint64(i)
+			d.obs.garbage.Add(uint64(i))
 			d.staging = append(d.staging[:0], d.staging[i:]...)
 		}
 		n := tmsg.FrameLen(d.staging)
@@ -259,6 +304,7 @@ func (d *DAP) nextFrame() []byte {
 		if n == 0 {
 			// Implausible header: false marker. Skip one byte.
 			d.GarbageBytes++
+			d.obs.garbage.Inc()
 			d.staging = append(d.staging[:0], d.staging[1:]...)
 			continue
 		}
@@ -288,6 +334,7 @@ func (d *DAP) DrainAll() {
 			d.Received = append(d.Received, b...)
 		}
 		d.TotalDrained += uint64(len(b))
+		d.obs.drained.Add(uint64(len(b)))
 	}
 	if d.Reliable {
 		d.pump(d.lastTick, true)

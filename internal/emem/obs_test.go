@@ -1,0 +1,70 @@
+package emem
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestInstrumentRingMetrics(t *testing.T) {
+	reg := obs.New()
+	e := New(4096, 0, 1)
+	e.Instrument(reg)
+
+	msg := make([]byte, 64)
+	for i := 0; i < 8; i++ {
+		if !e.AppendTrace(msg) {
+			t.Fatal("append refused")
+		}
+	}
+	e.Drain(128)
+	e.CorruptBit(0, 3)
+
+	s := reg.Snapshot()
+	check := func(name string, want float64) {
+		t.Helper()
+		if v, ok := s.Gauge(name); ok {
+			if v != want {
+				t.Errorf("%s = %v, want %v", name, v, want)
+			}
+			return
+		}
+		if v, ok := s.Counter(name); !ok || float64(v) != want {
+			t.Errorf("%s = %v,%v, want %v", name, v, ok, want)
+		}
+	}
+	check("emem.ring.level", 384) // 8*64 written - 128 drained
+	check("emem.ring.peak", 512)
+	check("emem.ring.msgs_written", 8)
+	check("emem.ring.bytes_written", 512)
+	check("emem.ring.bytes_drained", 128)
+	check("emem.ring.overflows", 0)
+	check("emem.soft_errors", 1)
+
+	// Fill to overflow: refused appends count as overflows.
+	e.Backpressure = true
+	e.AppendTrace(msg)
+	if v := reg.Counter("emem.ring.overflows").Value(); v != 1 {
+		t.Errorf("overflows = %d, want 1", v)
+	}
+}
+
+// The ring append/drain pair is the busiest non-simulated path of a
+// profiling run; the instrumented variant must stay within the ≤5%
+// overhead budget relative to obs.Disabled.
+func benchRing(b *testing.B, reg *obs.Registry) {
+	e := New(1<<16, 0, 1)
+	e.Instrument(reg)
+	msg := make([]byte, 24)
+	b.SetBytes(24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.AppendTrace(msg)
+		if e.Level() > 1<<15 {
+			e.Drain(e.Level())
+		}
+	}
+}
+
+func BenchmarkRingDisabled(b *testing.B)     { benchRing(b, obs.Disabled) }
+func BenchmarkRingInstrumented(b *testing.B) { benchRing(b, obs.New()) }

@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"repro/internal/emem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tmsg"
 	"repro/internal/tricore"
@@ -105,6 +106,36 @@ type MCDS struct {
 	MsgsEmitted  uint64
 	BytesEmitted uint64
 	MsgsLost     uint64
+
+	obs mcdsObs
+}
+
+// mcdsObs holds the emitter's metric handles (nil handles no-op when the
+// MCDS is uninstrumented).
+type mcdsObs struct {
+	msgs      *obs.Counter // mcds.msgs_emitted
+	bytes     *obs.Counter // mcds.bytes_emitted
+	lost      *obs.Counter // mcds.msgs_lost
+	reanchors *obs.Counter // mcds.reanchors — Sync messages emitted
+	bySrc     [tmsg.MaxSources]*obs.Counter
+}
+
+// Instrument publishes the trace-emitter metrics into reg: total and
+// per-source message counts, emitted bytes, losses, and re-anchor (Sync)
+// emissions. A nil registry is a no-op.
+func (m *MCDS) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.obs = mcdsObs{
+		msgs:      reg.Counter("mcds.msgs_emitted"),
+		bytes:     reg.Counter("mcds.bytes_emitted"),
+		lost:      reg.Counter("mcds.msgs_lost"),
+		reanchors: reg.Counter("mcds.reanchors"),
+	}
+	for i := range m.obs.bySrc {
+		m.obs.bySrc[i] = reg.Counter(fmt.Sprintf("mcds.src%d.msgs", i))
+	}
 }
 
 // New creates an empty MCDS writing to sink (which may be nil).
@@ -208,6 +239,7 @@ func (m *MCDS) emit(msg *tmsg.Msg) {
 		if !m.store(&of) {
 			m.pendingLost += of.Lost + 1
 			m.MsgsLost++
+			m.obs.lost.Inc()
 			return // still no room; drop the current message too
 		}
 	}
@@ -218,6 +250,7 @@ func (m *MCDS) emit(msg *tmsg.Msg) {
 		sy := tmsg.Msg{Kind: tmsg.KindSync, Src: msg.Src, Cycle: msg.Cycle, PC: 0}
 		if !m.store(&sy) {
 			m.MsgsLost++
+			m.obs.lost.Inc()
 			m.pendingLost++
 			return
 		}
@@ -225,6 +258,7 @@ func (m *MCDS) emit(msg *tmsg.Msg) {
 	}
 	if !m.store(msg) {
 		m.MsgsLost++
+		m.obs.lost.Inc()
 		m.pendingLost++
 		for i := range m.needSync {
 			m.needSync[i] = true
@@ -246,7 +280,7 @@ func (m *MCDS) store(msg *tmsg.Msg) bool {
 	m.scratch = m.enc.Encode(m.scratch[:0], msg)
 	if m.framer != nil {
 		dropped := m.framer.Append(m.scratch)
-		m.account()
+		m.account(msg)
 		if m.OnEmit != nil {
 			m.OnEmit(msg)
 		}
@@ -258,7 +292,7 @@ func (m *MCDS) store(msg *tmsg.Msg) bool {
 	if m.Sink != nil && !m.Sink.AppendTrace(m.scratch) {
 		return false
 	}
-	m.account()
+	m.account(msg)
 	if m.OnEmit != nil {
 		m.OnEmit(msg)
 	}
@@ -271,15 +305,22 @@ func (m *MCDS) store(msg *tmsg.Msg) bool {
 // Overflow marker and every source re-anchors its delta state.
 func (m *MCDS) noteFrameDrop(n uint64) {
 	m.MsgsLost += n
+	m.obs.lost.Add(n)
 	m.pendingLost += n
 	for i := range m.needSync {
 		m.needSync[i] = true
 	}
 }
 
-func (m *MCDS) account() {
+func (m *MCDS) account(msg *tmsg.Msg) {
 	m.MsgsEmitted++
 	m.BytesEmitted += uint64(len(m.scratch))
+	m.obs.msgs.Inc()
+	m.obs.bytes.Add(uint64(len(m.scratch)))
+	m.obs.bySrc[msg.Src].Inc()
+	if msg.Kind == tmsg.KindSync {
+		m.obs.reanchors.Inc()
+	}
 }
 
 // CoreObs is the observation block of one core.

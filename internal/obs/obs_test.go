@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Error("same name must return the same counter")
+	}
+	g := r.Gauge("a.level")
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Errorf("gauge = %v, want 3.5", got)
+	}
+	g.SetMax(2)
+	if got := g.Value(); got != 3.5 {
+		t.Errorf("SetMax lowered the gauge to %v", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Errorf("SetMax = %v, want 9", got)
+	}
+}
+
+func TestDisabledRegistryIsFree(t *testing.T) {
+	var r *Registry // == Disabled
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("disabled registry must return nil handles")
+	}
+	// Every operation on nil handles must be a safe no-op.
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	g.SetMax(2)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil handles must read zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("disabled snapshot must be empty")
+	}
+	if Disabled != nil {
+		t.Error("Disabled must be the nil registry")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	for _, v := range []uint64{1, 2, 3, 4, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 6 || s.Sum != 1110 {
+		t.Errorf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Errorf("min/max = %d/%d", s.Min, s.Max)
+	}
+	// p50 upper bound must cover the median (3..4) and p95 the tail.
+	if s.P50 < 3 || s.P50 > 7 {
+		t.Errorf("p50 = %d", s.P50)
+	}
+	if s.P95 < 1000 || s.P95 > 2047 {
+		t.Errorf("p95 = %d", s.P95)
+	}
+}
+
+func TestHistogramZeroAndExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(math.MaxUint64)
+	s := h.snapshot()
+	if s.Min != 0 {
+		t.Errorf("min = %d, want 0", s.Min)
+	}
+	if s.Max != math.MaxUint64 {
+		t.Errorf("max = %d", s.Max)
+	}
+	if s.P95 != math.MaxUint64 {
+		t.Errorf("p95 = %d", s.P95)
+	}
+}
+
+func TestSnapshotDeterministicOrdering(t *testing.T) {
+	r := New()
+	// Create in non-sorted order.
+	r.Counter("z").Add(1)
+	r.Counter("a").Add(2)
+	r.Counter("m").Add(3)
+	r.Gauge("beta").Set(1)
+	r.Gauge("alpha").Set(2)
+	r.Histogram("h2").Observe(1)
+	r.Histogram("h1").Observe(2)
+
+	s := r.Snapshot()
+	wantC := []string{"a", "m", "z"}
+	for i, c := range s.Counters {
+		if c.Name != wantC[i] {
+			t.Errorf("counter[%d] = %s, want %s", i, c.Name, wantC[i])
+		}
+	}
+	if s.Gauges[0].Name != "alpha" || s.Histograms[0].Name != "h1" {
+		t.Error("gauges/histograms not sorted by name")
+	}
+
+	// Two snapshots of the same state must serialize identically.
+	j1, _ := json.Marshal(r.Snapshot())
+	j2, _ := json.Marshal(r.Snapshot())
+	if !bytes.Equal(j1, j2) {
+		t.Error("snapshot serialization is not deterministic")
+	}
+
+	if v, ok := s.Counter("m"); !ok || v != 3 {
+		t.Errorf("Counter(m) = %d,%v", v, ok)
+	}
+	if v, ok := s.Gauge("alpha"); !ok || v != 2 {
+		t.Errorf("Gauge(alpha) = %v,%v", v, ok)
+	}
+	if _, ok := s.Counter("missing"); ok {
+		t.Error("missing counter reported present")
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("dist")
+			g := r.Gauge("hw")
+			for k := 0; k < 1000; k++ {
+				c.Inc()
+				h.Observe(uint64(k))
+				g.SetMax(float64(k))
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("hw").Value(); got != 999 {
+		t.Errorf("high-water gauge = %v, want 999", got)
+	}
+	s := r.Histogram("dist").snapshot()
+	if s.Count != 8000 || s.Min != 0 || s.Max != 999 {
+		t.Errorf("hist = %+v", s)
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	r := New()
+	r.Counter("req.count").Add(5)
+	r.Gauge("ring.level").Set(0.25)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("endpoint does not serve valid JSON: %v", err)
+	}
+	if v, ok := s.Counter("req.count"); !ok || v != 5 {
+		t.Errorf("served snapshot = %+v", s)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h").Observe(64)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, r.Snapshot()) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", back, r.Snapshot())
+	}
+}

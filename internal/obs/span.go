@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records wall-clock spans of the tool-side pipeline (run → drain →
+// decode → assemble) and exports them in the Chrome trace_event JSON
+// format, loadable in chrome://tracing and Perfetto.
+//
+// A nil Tracer is disabled: Start returns a nil Span and every Span method
+// on nil is a no-op, so call sites never branch on whether tracing is on.
+type Tracer struct {
+	mu     sync.Mutex
+	origin time.Time
+	spans  []spanRecord
+}
+
+type spanRecord struct {
+	name  string
+	cat   string
+	start time.Duration // since origin
+	dur   time.Duration
+}
+
+// NewTracer returns an enabled tracer whose time origin is now.
+func NewTracer() *Tracer {
+	return &Tracer{origin: time.Now()}
+}
+
+// Span is one in-flight span; End completes it.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	begin time.Time
+}
+
+// Start opens a span. The category groups spans in the trace viewer
+// (e.g. "pipeline"). Returns nil on a nil tracer.
+func (t *Tracer) Start(name, cat string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, cat: cat, begin: time.Now()}
+}
+
+// End completes the span and records it. A no-op on a nil span, and on a
+// second call.
+func (s *Span) End() {
+	if s == nil || s.t == nil {
+		return
+	}
+	t := s.t
+	s.t = nil
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, spanRecord{
+		name:  s.name,
+		cat:   s.cat,
+		start: s.begin.Sub(t.origin),
+		dur:   time.Since(s.begin),
+	})
+}
+
+// Measure runs fn under a span.
+func (t *Tracer) Measure(name, cat string, fn func()) {
+	sp := t.Start(name, cat)
+	fn()
+	sp.End()
+}
+
+// SpanNames returns the names of completed spans in completion order
+// (introspection for tests; empty on a nil tracer).
+func (t *Tracer) SpanNames() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.spans))
+	for i, s := range t.spans {
+		out[i] = s.name
+	}
+	return out
+}
+
+// TraceEvent is one event of the Chrome trace_event format ("X" = complete
+// event with duration). Timestamps and durations are microseconds.
+type TraceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// ChromeTrace is the top-level trace_event JSON object.
+type ChromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Trace returns the completed spans as a Chrome trace object. Spans are
+// sorted by start time (the viewer requires no order, but determinism
+// keeps test output stable when spans are sequential).
+func (t *Tracer) Trace() ChromeTrace {
+	ct := ChromeTrace{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms"}
+	if t == nil {
+		return ct
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.spans {
+		ct.TraceEvents = append(ct.TraceEvents, TraceEvent{
+			Name: s.name,
+			Cat:  s.cat,
+			Ph:   "X",
+			Ts:   float64(s.start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  1,
+		})
+	}
+	for i := 1; i < len(ct.TraceEvents); i++ {
+		for j := i; j > 0 && ct.TraceEvents[j].Ts < ct.TraceEvents[j-1].Ts; j-- {
+			ct.TraceEvents[j], ct.TraceEvents[j-1] = ct.TraceEvents[j-1], ct.TraceEvents[j]
+		}
+	}
+	return ct
+}
+
+// WriteChromeTrace serializes the completed spans to w in the Chrome
+// trace_event JSON format.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Trace())
+}

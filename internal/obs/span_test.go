@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x", "y")
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	sp.End() // must not panic
+	tr.Measure("m", "c", func() {})
+	if names := tr.SpanNames(); names != nil {
+		t.Errorf("nil tracer spans = %v", names)
+	}
+	ct := tr.Trace()
+	if len(ct.TraceEvents) != 0 {
+		t.Error("nil tracer trace must be empty")
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	tr := NewTracer()
+	run := tr.Start("run", "pipeline")
+	time.Sleep(time.Millisecond)
+	run.End()
+	run.End() // double End must not duplicate
+	tr.Measure("decode", "pipeline", func() {})
+
+	names := tr.SpanNames()
+	want := []string{"run", "decode"}
+	if len(names) != len(want) {
+		t.Fatalf("spans = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("span[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+// TestChromeTraceFormat validates the exported JSON structurally against
+// the Chrome trace_event contract: a top-level traceEvents array of
+// complete ("X") events with name/cat and non-negative microsecond
+// ts/dur, sorted by ts.
+func TestChromeTraceFormat(t *testing.T) {
+	tr := NewTracer()
+	a := tr.Start("run", "pipeline")
+	time.Sleep(2 * time.Millisecond)
+	a.End()
+	b := tr.Start("drain", "pipeline")
+	b.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode generically, as the trace viewer would.
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	raw, ok := top["traceEvents"]
+	if !ok {
+		t.Fatal("missing traceEvents key")
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("traceEvents is not an array of objects: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	prevTs := -1.0
+	for i, ev := range events {
+		for _, key := range []string{"name", "cat", "ph", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("event %d missing %q", i, key)
+			}
+		}
+		if ev["ph"] != "X" {
+			t.Errorf("event %d ph = %v, want X", i, ev["ph"])
+		}
+		ts, _ := ev["ts"].(float64)
+		dur, _ := ev["dur"].(float64)
+		if ts < 0 || dur < 0 {
+			t.Errorf("event %d negative ts/dur: %v/%v", i, ts, dur)
+		}
+		if ts < prevTs {
+			t.Errorf("events not sorted by ts: %v after %v", ts, prevTs)
+		}
+		prevTs = ts
+	}
+	// The 2ms sleep must be visible in microseconds on the first span.
+	if dur, _ := events[0]["dur"].(float64); dur < 1000 {
+		t.Errorf("run span dur = %v µs, want >= 1000", dur)
+	}
+	if events[0]["name"] != "run" || events[1]["name"] != "drain" {
+		t.Errorf("span order wrong: %v, %v", events[0]["name"], events[1]["name"])
+	}
+}
+
+func TestEmptyTracerStillValidTrace(t *testing.T) {
+	tr := NewTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatal(err)
+	}
+	if ct.TraceEvents == nil {
+		t.Error("traceEvents must serialize as [], not null")
+	}
+}

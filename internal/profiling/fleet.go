@@ -1,0 +1,199 @@
+package profiling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Fleet aggregation: the paper's end goal is not one measurement but
+// "statistical system profiles" aggregated from many customer runs,
+// feeding the F-model architecture decisions. Aggregate turns a set of
+// machine-readable run reports into that fleet-level profile:
+// per-parameter distributions across runs, confidence-weighted so lossy
+// runs influence the result less, with statistical outliers flagged for
+// the engineer instead of silently averaged away.
+
+// FleetRun is one ingested run with its aggregation weight.
+type FleetRun struct {
+	ID         string  `json:"id"`
+	App        string  `json:"app"`
+	SoC        string  `json:"soc"`
+	Seed       uint64  `json:"seed"`
+	FaultPlan  string  `json:"fault_plan,omitempty"`
+	Cycles     uint64  `json:"cycles"`
+	Confidence float64 `json:"confidence"`
+	// Weight is the run's share in every weighted statistic: its
+	// confidence, i.e. clean runs weigh 1, lossy runs visibly less.
+	Weight float64 `json:"weight"`
+}
+
+// FleetParam is the cross-run distribution of one parameter.
+type FleetParam struct {
+	Param string `json:"param"`
+	Runs  int    `json:"runs"`
+	// WeightedMean is the confidence-weighted mean of the run means: each
+	// run contributes weight run.Weight × param.Confidence.
+	WeightedMean float64 `json:"weighted_mean"`
+	// Unweighted distribution of run means.
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	Stddev float64 `json:"stddev"` // weighted, around WeightedMean
+	// Outliers lists run IDs whose mean deviates from the fleet median by
+	// more than 5 scaled median-absolute-deviations (≥4 runs). MAD-based
+	// detection is robust: an extreme run cannot inflate the spread
+	// estimate and thereby mask itself, as it would with a stddev test.
+	Outliers []string `json:"outliers,omitempty"`
+}
+
+// FleetProfile is the aggregated view over a set of run reports.
+type FleetProfile struct {
+	Schema int          `json:"schema_version"`
+	Runs   []FleetRun   `json:"runs"`
+	Params []FleetParam `json:"params"`
+}
+
+// Run returns the ingested run with the given ID (nil when absent).
+func (fp *FleetProfile) Run(id string) *FleetRun {
+	for i := range fp.Runs {
+		if fp.Runs[i].ID == id {
+			return &fp.Runs[i]
+		}
+	}
+	return nil
+}
+
+// Param returns the aggregated parameter by name (nil when absent).
+func (fp *FleetProfile) Param(name string) *FleetParam {
+	for i := range fp.Params {
+		if fp.Params[i].Param == name {
+			return &fp.Params[i]
+		}
+	}
+	return nil
+}
+
+// Aggregate builds the fleet profile from run reports. ids names each
+// report (file name, run label); when shorter than reports, missing IDs
+// are synthesized from app/seed/fault plan. Runs and parameters in the
+// result are deterministically ordered (by ID and name respectively).
+func Aggregate(ids []string, reports []*RunReport) (*FleetProfile, error) {
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("fleet: no run reports")
+	}
+	fp := &FleetProfile{Schema: ReportSchemaVersion}
+
+	type obsRun struct {
+		id     string
+		weight float64
+		stats  ParamStats
+	}
+	byParam := map[string][]obsRun{}
+
+	for i, r := range reports {
+		id := ""
+		if i < len(ids) {
+			id = ids[i]
+		}
+		if id == "" {
+			id = fmt.Sprintf("%s-seed%d", r.App, r.Seed)
+			if r.FaultPlan != "" {
+				id += "-" + r.FaultPlan
+			}
+		}
+		w := r.Confidence
+		if w < 0 {
+			w = 0
+		}
+		fp.Runs = append(fp.Runs, FleetRun{
+			ID: id, App: r.App, SoC: r.SoC, Seed: r.Seed,
+			FaultPlan: r.FaultPlan, Cycles: r.Cycles,
+			Confidence: r.Confidence, Weight: w,
+		})
+		for name, ps := range r.Params {
+			byParam[name] = append(byParam[name], obsRun{id: id, weight: w * ps.Confidence, stats: ps})
+		}
+	}
+	sort.Slice(fp.Runs, func(i, j int) bool { return fp.Runs[i].ID < fp.Runs[j].ID })
+
+	names := make([]string, 0, len(byParam))
+	for name := range byParam {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		runs := byParam[name]
+		sort.Slice(runs, func(i, j int) bool { return runs[i].id < runs[j].id })
+		p := FleetParam{Param: name, Runs: len(runs), Min: math.Inf(1), Max: math.Inf(-1)}
+
+		var wsum, wmean float64
+		means := make([]float64, 0, len(runs))
+		for _, or := range runs {
+			m := or.stats.Mean
+			means = append(means, m)
+			wsum += or.weight
+			wmean += or.weight * m
+			p.Mean += m
+			if or.stats.Min < p.Min {
+				p.Min = or.stats.Min
+			}
+			if or.stats.Max > p.Max {
+				p.Max = or.stats.Max
+			}
+		}
+		p.Mean /= float64(len(runs))
+		if wsum > 0 {
+			p.WeightedMean = wmean / wsum
+		} else {
+			p.WeightedMean = p.Mean // all weights zero: fall back unweighted
+		}
+
+		sort.Float64s(means)
+		p.P50 = quantile(means, 0.50)
+		p.P95 = quantile(means, 0.95)
+
+		var wvar float64
+		for _, or := range runs {
+			d := or.stats.Mean - p.WeightedMean
+			wvar += or.weight * d * d
+		}
+		if wsum > 0 {
+			p.Stddev = math.Sqrt(wvar / wsum)
+		}
+
+		if len(runs) >= 4 {
+			med := quantile(means, 0.50)
+			devs := make([]float64, len(means))
+			for i, m := range means {
+				devs[i] = math.Abs(m - med)
+			}
+			sort.Float64s(devs)
+			// 1.4826 scales MAD to the stddev of a normal distribution.
+			if mad := 1.4826 * quantile(devs, 0.50); mad > 0 {
+				for _, or := range runs {
+					if math.Abs(or.stats.Mean-med) > 5*mad {
+						p.Outliers = append(p.Outliers, or.id)
+					}
+				}
+			}
+		}
+		fp.Params = append(fp.Params, p)
+	}
+	return fp, nil
+}
+
+// quantile returns the q-quantile of sorted values by nearest rank.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q * float64(len(sorted)))
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,188 @@
+package profiling
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/dap"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+func synthReport(app string, seed uint64, conf float64, ipcMean, ipcConf float64) *RunReport {
+	return &RunReport{
+		Schema: ReportSchemaVersion, App: app, Seed: seed, SoC: "TC1797ED",
+		Cycles: 100_000, Confidence: conf,
+		Params: map[string]ParamStats{
+			"ipc": {Mean: ipcMean, Min: ipcMean - 0.1, Max: ipcMean + 0.1,
+				Windows: 100, Confidence: ipcConf},
+		},
+	}
+}
+
+func TestAggregateWeighting(t *testing.T) {
+	// Three clean runs near IPC 1.0 and one low-confidence run at 0.2:
+	// the weighted mean must sit near 1.0, far above the unweighted mean.
+	reports := []*RunReport{
+		synthReport("a", 1, 1, 1.00, 1),
+		synthReport("b", 2, 1, 1.02, 1),
+		synthReport("c", 3, 1, 0.98, 1),
+		synthReport("lossy", 4, 0.05, 0.20, 0.5),
+	}
+	fp, err := Aggregate([]string{"a", "b", "c", "lossy"}, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Runs) != 4 {
+		t.Fatalf("runs = %d", len(fp.Runs))
+	}
+	if w := fp.Run("lossy").Weight; w >= fp.Run("a").Weight {
+		t.Errorf("lossy weight %v not below clean weight %v", w, fp.Run("a").Weight)
+	}
+	ipc := fp.Param("ipc")
+	if ipc == nil || ipc.Runs != 4 {
+		t.Fatalf("ipc = %+v", ipc)
+	}
+	if ipc.WeightedMean < 0.95 || ipc.WeightedMean > 1.02 {
+		t.Errorf("weighted mean = %v, want ≈1.0 (lossy run down-weighted)", ipc.WeightedMean)
+	}
+	if ipc.Mean > 0.85 {
+		t.Errorf("unweighted mean = %v, should be dragged down by the lossy run", ipc.Mean)
+	}
+	if ipc.Min >= 0.2 || ipc.Max <= 1.1 {
+		t.Errorf("min/max = %v/%v", ipc.Min, ipc.Max)
+	}
+	// Distribution across run means: p50 within the clean cluster.
+	if ipc.P50 < 0.98 || ipc.P50 > 1.02 {
+		t.Errorf("p50 = %v", ipc.P50)
+	}
+}
+
+func TestAggregateOutlierFlagging(t *testing.T) {
+	var reports []*RunReport
+	var ids []string
+	for i := 0; i < 8; i++ {
+		reports = append(reports, synthReport(fmt.Sprintf("r%d", i), uint64(i), 1, 1.0+0.001*float64(i), 1))
+		ids = append(ids, fmt.Sprintf("r%d", i))
+	}
+	reports = append(reports, synthReport("weird", 99, 1, 5.0, 1))
+	ids = append(ids, "weird")
+	fp, err := Aggregate(ids, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipc := fp.Param("ipc")
+	if len(ipc.Outliers) != 1 || ipc.Outliers[0] != "weird" {
+		t.Errorf("outliers = %v, want [weird]", ipc.Outliers)
+	}
+}
+
+func TestAggregateEmptyAndIDSynthesis(t *testing.T) {
+	if _, err := Aggregate(nil, nil); err == nil {
+		t.Error("empty fleet must error")
+	}
+	r := synthReport("app", 42, 1, 1, 1)
+	r.FaultPlan = "noisy-link"
+	fp, err := Aggregate(nil, []*RunReport{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Runs[0].ID != "app-seed42-noisy-link" {
+		t.Errorf("synthesized ID = %q", fp.Runs[0].ID)
+	}
+}
+
+// runForReport executes one full profiling run and returns its report,
+// round-tripped through JSON exactly as tcprof -json → tcfleet would.
+func runForReport(t *testing.T, faults string) *RunReport {
+	t.Helper()
+	cfg := soc.TC1797().WithED()
+	s, app := buildApp(t, cfg, stdSpec())
+	dapCfg := dap.DefaultConfig(cfg.CPUFreqMHz)
+	spec := Spec{Resolution: 500, Params: StandardParams(), DAP: &dapCfg, Obs: obs.New()}
+	if faults != "" {
+		plan, err := fault.Parse(faults, stdSpec().Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Fault = &plan
+	}
+	sess := NewSession(s, spec)
+	sess.Run(app, 400_000)
+	p, err := sess.Result("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sess.RunReport(p, stdSpec().Seed).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadRunReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFleetCleanVsLossyIntegration is the acceptance-criterion test: a
+// clean run and a -faults everything run, aggregated into a fleet profile
+// in which the lossy run's weight is visibly lower.
+func TestFleetCleanVsLossyIntegration(t *testing.T) {
+	clean := runForReport(t, "")
+	lossy := runForReport(t, "everything")
+
+	if clean.Confidence != 1 {
+		t.Errorf("clean confidence = %v, want 1", clean.Confidence)
+	}
+	if lossy.FaultPlan != "everything" || !lossy.Framed {
+		t.Errorf("lossy meta = %+v", lossy)
+	}
+	if lossy.Loss.LinkLost == 0 && lossy.Loss.MsgsLost == 0 {
+		t.Fatal("everything scenario lost nothing — fault injection inactive?")
+	}
+	if lossy.Confidence >= clean.Confidence {
+		t.Fatalf("lossy confidence %v not below clean %v", lossy.Confidence, clean.Confidence)
+	}
+
+	fp, err := Aggregate([]string{"clean.json", "lossy.json"}, []*RunReport{clean, lossy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, lw := fp.Run("clean.json").Weight, fp.Run("lossy.json").Weight
+	if lw >= 0.98*cw {
+		t.Errorf("lossy weight %v not visibly below clean weight %v", lw, cw)
+	}
+	ipc := fp.Param("ipc")
+	if ipc == nil || ipc.Runs != 2 {
+		t.Fatalf("fleet ipc = %+v", ipc)
+	}
+	// Both runs measured the same deterministic application, so the
+	// weighted mean must stay close to the clean run's measurement.
+	cleanIPC := clean.Params["ipc"].Mean
+	if d := ipc.WeightedMean - cleanIPC; d > 0.05 || d < -0.05 {
+		t.Errorf("fleet weighted IPC %v strayed from clean %v", ipc.WeightedMean, cleanIPC)
+	}
+}
+
+// The canonical observability-overhead measurement: a full profiling
+// session over the standard workload, instrumented (live registry on
+// every layer) vs obs.Disabled. Acceptance: ≤5% slowdown.
+func benchSessionObs(b *testing.B, reg *obs.Registry) {
+	cfg := soc.TC1797().WithED()
+	s := soc.New(cfg, 3)
+	app, err := workload.Build(s, stdSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dapCfg := dap.DefaultConfig(cfg.CPUFreqMHz)
+	sess := NewSession(s, Spec{Resolution: 500, Params: StandardParams(), DAP: &dapCfg, Obs: reg})
+	_ = sess
+	b.ResetTimer()
+	app.RunFor(uint64(b.N))
+}
+
+func BenchmarkSessionObsDisabled(b *testing.B)     { benchSessionObs(b, obs.Disabled) }
+func BenchmarkSessionObsInstrumented(b *testing.B) { benchSessionObs(b, obs.New()) }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mcds"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/soc"
 	"repro/internal/tmsg"
@@ -122,6 +123,17 @@ type Spec struct {
 	// recedes below the low watermark. Rates stay exact because each rate
 	// message carries its actual basis.
 	Degrade *DegradePolicy
+
+	// Obs, when non-nil, instruments the whole pipeline — simulator clock,
+	// EMEM ring, DAP link, MCDS emitter — with self-observability metrics.
+	// Overhead is one atomic update per already-expensive operation; the
+	// nil (obs.Disabled) registry costs one nil check per call site.
+	Obs *obs.Registry
+
+	// Tracer, when non-nil, records the session phases (run → drain →
+	// decode → assemble) as wall-clock spans, exportable in Chrome
+	// trace_event format.
+	Tracer *obs.Tracer
 }
 
 // framed reports whether the hardened trace path is active.
@@ -286,7 +298,31 @@ func NewSession(s *soc.SoC, spec Spec) *Session {
 	// the Back Bone Bus.
 	sess.Regs = m.RegFile(mem.MCDSRegBase)
 	s.DLMB.Map(mem.MCDSRegBase, sess.Regs.Size(), sess.Regs)
+
+	if spec.Obs != nil {
+		s.EMEM.Instrument(spec.Obs)
+		m.Instrument(spec.Obs)
+		if sess.DAP != nil {
+			sess.DAP.Instrument(spec.Obs)
+		}
+		s.Clock.Instrument(spec.Obs, 0)
+	}
 	return sess
+}
+
+// Runner is anything that can advance the simulated system by a number of
+// cycles (workload.App implements it).
+type Runner interface {
+	RunFor(cycles uint64)
+}
+
+// Run advances the application under a "run" pipeline span, so the
+// measurement phase appears on the exported trace timeline alongside
+// drain/decode/assemble. Without a Tracer it is exactly app.RunFor.
+func (sess *Session) Run(app Runner, cycles uint64) {
+	sp := sess.spec.Tracer.Start("run", "pipeline")
+	app.RunFor(cycles)
+	sp.End()
 }
 
 // CPUObs exposes the TriCore observation block for custom triggers.
@@ -425,34 +461,51 @@ func (p *Profile) Names() []string {
 // decode never fails, losses are quantified in LinkLost and located in
 // Gaps, and samples whose window overlaps a gap carry Suspect.
 func (sess *Session) Result(appName string) (*Profile, error) {
-	sess.MCDS.FlushTrace() // push the partial frame out (no-op unframed)
+	tr := sess.spec.Tracer
+
+	// Drain: flush the partial frame (no-op unframed) and pull the
+	// remaining buffer content to the tool side.
+	drainSp := tr.Start("drain", "pipeline")
+	sess.MCDS.FlushTrace()
+	var raw []byte
+	if sess.DAP != nil {
+		sess.DAP.DrainAll()
+	} else {
+		raw = sess.SoC.EMEM.Drain(sess.SoC.EMEM.Level())
+	}
+	drainSp.End()
+
+	// Decode: parse the received byte stream into messages.
+	decodeSp := tr.Start("decode", "pipeline")
 	var msgs []tmsg.Msg
 	var stream *tmsg.StreamDecoder
 	if sess.spec.framed() {
 		if sess.DAP != nil {
-			sess.DAP.DrainAll()
 			msgs, _ = sess.DAP.Decode()
 			stream = sess.DAP.Stream()
 		} else {
 			stream = tmsg.NewStreamDecoder(true)
-			msgs = stream.Feed(sess.SoC.EMEM.Drain(sess.SoC.EMEM.Level()))
+			msgs = stream.Feed(raw)
 		}
 		stream.Finalize(sess.MCDS.Framer().MsgsFramed)
 	} else {
-		var raw []byte
 		if sess.DAP != nil {
-			sess.DAP.DrainAll()
 			raw = sess.DAP.Received
-		} else {
-			raw = sess.SoC.EMEM.Drain(sess.SoC.EMEM.Level())
 		}
 		var dec tmsg.Decoder
 		var err error
 		msgs, _, err = dec.DecodeAll(raw)
 		if err != nil {
+			decodeSp.End()
 			return nil, fmt.Errorf("profiling: decode: %w", err)
 		}
 	}
+	decodeSp.End()
+
+	// Assemble: bucket rate messages into per-parameter series and apply
+	// the loss accounting.
+	assembleSp := tr.Start("assemble", "pipeline")
+	defer assembleSp.End()
 	p := &Profile{
 		App:        appName,
 		Cycles:     sess.SoC.CPU.Counters().Get(sim.EvCycle),

@@ -1,0 +1,79 @@
+package profiling
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func seriesOf(counts ...uint64) *Series {
+	se := &Series{Param: "test"}
+	for i, c := range counts {
+		se.Samples = append(se.Samples, Sample{Cycle: uint64(i) * 1000, Basis: 100, Count: c})
+	}
+	return se
+}
+
+func TestSparklineEmptyAndZeroWidth(t *testing.T) {
+	if s := (&Series{}).Sparkline(10); s != "" {
+		t.Errorf("empty series = %q", s)
+	}
+	if s := seriesOf(1, 2, 3).Sparkline(0); s != "" {
+		t.Errorf("zero width = %q", s)
+	}
+	if s := seriesOf(1, 2, 3).Sparkline(-4); s != "" {
+		t.Errorf("negative width = %q", s)
+	}
+}
+
+func TestSparklineFlatSeries(t *testing.T) {
+	// A constant rate has zero span: every column is the lowest glyph.
+	s := seriesOf(50, 50, 50, 50).Sparkline(4)
+	if s != strings.Repeat("▁", 4) {
+		t.Errorf("flat = %q", s)
+	}
+}
+
+func TestSparklineRising(t *testing.T) {
+	s := seriesOf(0, 10, 20, 30, 40, 50, 60, 70).Sparkline(8)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("width = %d, want 8 (%q)", utf8.RuneCountInString(s), s)
+	}
+	runes := []rune(s)
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("not monotonic at %d: %q", i, s)
+		}
+	}
+	if runes[0] != '▁' || runes[len(runes)-1] != '█' {
+		t.Errorf("endpoints %q: min must map to ▁ and max to █", s)
+	}
+}
+
+func TestSparklineWidthClamp(t *testing.T) {
+	// More columns than samples: clamp to one column per sample.
+	s := seriesOf(10, 90).Sparkline(48)
+	if got := utf8.RuneCountInString(s); got != 2 {
+		t.Errorf("clamped width = %d, want 2 (%q)", got, s)
+	}
+	if s != "▁█" {
+		t.Errorf("two-point sparkline = %q, want ▁█", s)
+	}
+}
+
+func TestSparklineBucketsAverage(t *testing.T) {
+	// 8 samples into 4 columns: each column is the mean of its pair, so an
+	// alternating series flattens to identical mid glyphs, while a step
+	// series keeps its step.
+	alt := seriesOf(0, 100, 0, 100, 0, 100, 0, 100).Sparkline(4)
+	runes := []rune(alt)
+	for i := 1; i < len(runes); i++ {
+		if runes[i] != runes[0] {
+			t.Errorf("alternating pairs should flatten: %q", alt)
+		}
+	}
+	step := seriesOf(0, 0, 0, 0, 100, 100, 100, 100).Sparkline(4)
+	if step != "▁▁██" {
+		t.Errorf("step series = %q, want ▁▁██", step)
+	}
+}

@@ -11,7 +11,12 @@
 // repository reproducible.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
 
 // Ticker is implemented by every component that advances once per clock
 // cycle. Tick receives the current cycle number (starting at 0).
@@ -33,6 +38,8 @@ type Clock struct {
 	cycle   uint64
 	tickers []Ticker
 	names   []string
+
+	obs *clockObs // nil when the clock is not instrumented
 }
 
 // NewClock returns a clock at cycle 0 with no components attached.
@@ -43,13 +50,74 @@ func NewClock() *Clock { return &Clock{} }
 func (c *Clock) Attach(name string, t Ticker) {
 	c.tickers = append(c.tickers, t)
 	c.names = append(c.names, name)
+	if c.obs != nil {
+		c.obs.addTicker(name)
+	}
 }
 
 // Cycle returns the number of completed cycles.
 func (c *Clock) Cycle() uint64 { return c.cycle }
 
+// DefaultSampleEvery is the default per-ticker timing sample period of an
+// instrumented clock: one fully timed cycle out of every 1024.
+const DefaultSampleEvery = 1024
+
+// clockObs holds the metric handles of an instrumented clock.
+type clockObs struct {
+	reg         *obs.Registry
+	sampleEvery uint64
+	sampleIn    uint64 // cycles until the next fully timed step
+
+	cycles        *obs.Counter // sim.cycles
+	wallNS        *obs.Counter // sim.wall_ns (Run/RunUntil wall time)
+	cyclesPerSec  *obs.Gauge   // sim.cycles_per_sec (latest Run)
+	sampledCycles *obs.Counter // sim.sampled_cycles
+	tickerNS      []*obs.Counter
+}
+
+func (o *clockObs) addTicker(name string) {
+	o.tickerNS = append(o.tickerNS, o.reg.Counter("sim.ticker."+name+".sampled_ns"))
+}
+
+// Instrument publishes clock metrics into reg: a cycle counter, the
+// wall-clock simulation rate, and a sampled per-ticker time-share profile
+// (every sampleEvery-th cycle is fully timed; 0 selects
+// DefaultSampleEvery). Like the MCDS observing the TriCore, the
+// instrumentation never changes simulated behaviour — only the wall-clock
+// cost of a sampled cycle. A nil registry leaves the clock untouched.
+func (c *Clock) Instrument(reg *obs.Registry, sampleEvery uint64) {
+	if reg == nil {
+		return
+	}
+	if sampleEvery == 0 {
+		sampleEvery = DefaultSampleEvery
+	}
+	o := &clockObs{
+		reg:           reg,
+		sampleEvery:   sampleEvery,
+		cycles:        reg.Counter("sim.cycles"),
+		wallNS:        reg.Counter("sim.wall_ns"),
+		cyclesPerSec:  reg.Gauge("sim.cycles_per_sec"),
+		sampledCycles: reg.Counter("sim.sampled_cycles"),
+	}
+	for _, name := range c.names {
+		o.addTicker(name)
+	}
+	c.obs = o
+}
+
 // Step advances the simulation by exactly one cycle.
 func (c *Clock) Step() {
+	if o := c.obs; o != nil {
+		// Countdown instead of modulo: the uninstrumented fast path pays
+		// one nil check, the instrumented fast path one decrement.
+		if o.sampleIn == 0 {
+			o.sampleIn = o.sampleEvery - 1
+			c.stepTimed(o)
+			return
+		}
+		o.sampleIn--
+	}
 	cy := c.cycle
 	for _, t := range c.tickers {
 		t.Tick(cy)
@@ -57,8 +125,24 @@ func (c *Clock) Step() {
 	c.cycle++
 }
 
+// stepTimed is a fully timed Step: each ticker's wall time is accumulated
+// into its sampled_ns counter.
+func (c *Clock) stepTimed(o *clockObs) {
+	cy := c.cycle
+	for i, t := range c.tickers {
+		t0 := time.Now()
+		t.Tick(cy)
+		o.tickerNS[i].Add(uint64(time.Since(t0)))
+	}
+	o.sampledCycles.Inc()
+	c.cycle++
+}
+
 // Run advances the simulation by n cycles.
 func (c *Clock) Run(n uint64) {
+	if c.obs != nil {
+		defer c.measureRun(time.Now(), c.cycle)
+	}
 	for i := uint64(0); i < n; i++ {
 		c.Step()
 	}
@@ -68,6 +152,9 @@ func (c *Clock) Run(n uint64) {
 // limit is reached. It returns the number of cycles executed and whether
 // done was satisfied.
 func (c *Clock) RunUntil(done func() bool, limit uint64) (uint64, bool) {
+	if c.obs != nil {
+		defer c.measureRun(time.Now(), c.cycle)
+	}
 	start := c.cycle
 	for c.cycle-start < limit {
 		if done() {
@@ -76,6 +163,19 @@ func (c *Clock) RunUntil(done func() bool, limit uint64) (uint64, bool) {
 		c.Step()
 	}
 	return c.cycle - start, done()
+}
+
+// measureRun accounts one Run/RunUntil episode: executed cycles, wall
+// time, and the resulting simulation rate.
+func (c *Clock) measureRun(start time.Time, startCycle uint64) {
+	o := c.obs
+	n := c.cycle - startCycle
+	el := time.Since(start)
+	o.cycles.Add(n)
+	o.wallNS.Add(uint64(el))
+	if el > 0 && n > 0 {
+		o.cyclesPerSec.Set(float64(n) / el.Seconds())
+	}
 }
 
 // String describes the attached components.

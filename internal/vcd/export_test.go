@@ -1,0 +1,141 @@
+package vcd
+
+import (
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/tmsg"
+)
+
+// change is one parsed (time, variable, value) tuple from a VCD body.
+type change struct {
+	time uint64
+	name string
+	val  uint64
+}
+
+// parseVCD is a minimal reader for the subset of VCD this package writes:
+// it returns the declared variable names (sorted) and every value change
+// in body order. Initial 'x' dump values are skipped.
+func parseVCD(t *testing.T, doc string) ([]string, []change) {
+	t.Helper()
+	names := map[string]string{} // id → name
+	var changes []change
+	var now uint64
+	body := false
+	for _, line := range strings.Split(doc, "\n") {
+		switch {
+		case strings.HasPrefix(line, "$var wire"):
+			parts := strings.Fields(line)
+			if len(parts) != 6 || parts[5] != "$end" {
+				t.Fatalf("malformed declaration %q", line)
+			}
+			names[parts[3]] = parts[4]
+		case strings.HasPrefix(line, "$enddefinitions"):
+			body = true
+		case body && strings.HasPrefix(line, "#"):
+			v, err := strconv.ParseUint(line[1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad timestamp %q: %v", line, err)
+			}
+			if v < now {
+				t.Fatalf("time went backwards at %q", line)
+			}
+			now = v
+		case body && strings.HasPrefix(line, "b"):
+			parts := strings.Fields(line)
+			if len(parts) != 2 {
+				t.Fatalf("malformed change %q", line)
+			}
+			name, ok := names[parts[1]]
+			if !ok {
+				t.Fatalf("change for undeclared id %q", line)
+			}
+			if strings.Contains(parts[0], "x") {
+				continue // initial undefined dump
+			}
+			v, err := strconv.ParseUint(parts[0][1:], 2, 64)
+			if err != nil {
+				t.Fatalf("bad value %q: %v", line, err)
+			}
+			changes = append(changes, change{time: now, name: name, val: v})
+		}
+	}
+	var sorted []string
+	for _, n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	return sorted, changes
+}
+
+// TestExportTraceRoundTrip exports a message stream and parses the VCD
+// text back, verifying that every message reappears as the right value
+// change on the right variable at the right cycle.
+func TestExportTraceRoundTrip(t *testing.T) {
+	msgs := []tmsg.Msg{
+		{Kind: tmsg.KindSync, Src: 0, Cycle: 0, PC: 0x8000_0000},
+		{Kind: tmsg.KindFlow, Src: 0, Cycle: 12, ICount: 3, PC: 0x8000_0040},
+		{Kind: tmsg.KindData, Src: 1, Cycle: 14, Addr: 0x9000_0010, Data: 42, Write: true},
+		{Kind: tmsg.KindRate, Src: 0, Cycle: 100, CounterID: 2, Basis: 100, Count: 6},
+		{Kind: tmsg.KindRate, Src: 0, Cycle: 200, CounterID: 2, Basis: 100, Count: 9},
+	}
+	var b strings.Builder
+	changes, err := ExportTrace(&b, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names, parsed := parseVCD(t, b.String())
+	wantNames := []string{"src0.ctr2", "src0.pc", "src1.daddr", "src1.dval"}
+	if !reflect.DeepEqual(names, wantNames) {
+		t.Errorf("variables = %v, want %v", names, wantNames)
+	}
+	want := []change{
+		{0, "src0.pc", 0x8000_0000},
+		{12, "src0.pc", 0x8000_0040},
+		{14, "src1.daddr", 0x9000_0010},
+		{14, "src1.dval", 42},
+		{100, "src0.ctr2", 6},
+		{200, "src0.ctr2", 9},
+	}
+	if !reflect.DeepEqual(parsed, want) {
+		t.Errorf("changes:\ngot  %v\nwant %v", parsed, want)
+	}
+	if changes != len(want) {
+		t.Errorf("reported %d changes, parsed %d", changes, len(want))
+	}
+}
+
+// TestExportTraceSuppressedDuplicates: a repeated value must count as a
+// change at the writer level but appear only once in the document.
+func TestExportTraceSuppressedDuplicates(t *testing.T) {
+	msgs := []tmsg.Msg{
+		{Kind: tmsg.KindRate, Src: 0, Cycle: 10, CounterID: 0, Basis: 10, Count: 7},
+		{Kind: tmsg.KindRate, Src: 0, Cycle: 20, CounterID: 0, Basis: 10, Count: 7},
+		{Kind: tmsg.KindRate, Src: 0, Cycle: 30, CounterID: 0, Basis: 10, Count: 8},
+	}
+	var b strings.Builder
+	if _, err := ExportTrace(&b, msgs); err != nil {
+		t.Fatal(err)
+	}
+	_, parsed := parseVCD(t, b.String())
+	want := []change{{10, "src0.ctr0", 7}, {30, "src0.ctr0", 8}}
+	if !reflect.DeepEqual(parsed, want) {
+		t.Errorf("changes = %v, want %v", parsed, want)
+	}
+}
+
+func TestExportTraceEmpty(t *testing.T) {
+	var b strings.Builder
+	changes, err := ExportTrace(&b, nil)
+	if err != nil || changes != 0 {
+		t.Fatalf("empty export: changes=%d err=%v", changes, err)
+	}
+	if !strings.Contains(b.String(), "$enddefinitions $end") {
+		t.Error("empty export must still be a well-formed document")
+	}
+}
