@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dap"
@@ -54,7 +55,9 @@ func TestChaosSoak(t *testing.T) {
 			var mirror []tmsg.Msg
 			sess.MCDS.OnEmit = func(m *tmsg.Msg) { mirror = append(mirror, *m) }
 
-			app.RunFor(400_000)
+			if err := sess.Run(context.Background(), app, 400_000); err != nil {
+				t.Fatal(err)
+			}
 			p, err := sess.Result("engine")
 			if err != nil {
 				t.Fatalf("hardened session errored under %s: %v", plan.Name, err)

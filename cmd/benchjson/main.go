@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -29,9 +30,15 @@ type Result struct {
 
 // Report is the artifact schema.
 type Report struct {
-	Schema  int      `json:"schema_version"`
-	GoOS    string   `json:"goos,omitempty"`
-	GoArch  string   `json:"goarch,omitempty"`
+	Schema int    `json:"schema_version"`
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	// CPU is the bench host's CPU model as reported by the test binary;
+	// CPUs is the logical core count of the host converting the report.
+	// Together they qualify scaling curves (a flat worker curve on a
+	// single-core host is expected, not a regression).
+	CPU     string   `json:"cpu,omitempty"`
+	CPUs    int      `json:"cpus,omitempty"`
 	Results []Result `json:"results"`
 }
 
@@ -46,7 +53,7 @@ func run() error {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	rep := Report{Schema: 1}
+	rep := Report{Schema: 1, CPUs: runtime.NumCPU()}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
@@ -57,6 +64,8 @@ func run() error {
 			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
 		case strings.HasPrefix(line, "goarch:"):
 			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "pkg:"):
 			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 		case strings.HasPrefix(line, "Benchmark"):

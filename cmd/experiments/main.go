@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only E3,E4]
+//	experiments [-quick] [-only E3,E4] [-soc TC1797|TC1767|TC1797DC] [-seed N]
 package main
 
 import (
@@ -14,13 +14,27 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/runcfg"
+	"repro/internal/soc"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller fleets and shorter runs")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	asJSON := flag.Bool("json", false, "emit JSON objects instead of text tables")
+	// The base run configuration is shared with tcprof/tcsim/campaigns;
+	// experiments fix their own horizons, so only -soc and -seed are bound.
+	base := runcfg.Default()
+	base.Seed = 2024
+	flag.StringVar(&base.SoC, "soc", base.SoC,
+		"base SoC preset ("+strings.Join(soc.PresetNames(), "|")+")")
+	flag.Uint64Var(&base.Seed, "seed", base.Seed, "reference workload seed")
 	flag.Parse()
+
+	if err := experiments.SetBase(base); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	type exp struct {
 		id  string

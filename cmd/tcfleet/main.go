@@ -1,52 +1,88 @@
-// Command tcfleet aggregates machine-readable run reports (written by
-// tcprof -json) into the fleet-level statistical profile the paper's
-// methodology targets: per-parameter distributions across many runs,
-// confidence-weighted so lossy runs influence the result less, with
-// statistical outliers flagged for the engineer.
+// Command tcfleet operates on fleets of profiling runs: it aggregates
+// machine-readable run reports (written by tcprof -json) into the
+// fleet-level statistical profile the paper's methodology targets, and
+// it executes whole campaigns — a declarative matrix of virtual
+// customers expanded into parallel profiling sessions whose reports
+// stream straight into the aggregator.
 //
 // Usage:
 //
-//	tcfleet [-json] [-out fleet.json] report-dir|report.json ...
+//	tcfleet aggregate [-json] [-out fleet.json] report-dir|report.json ...
+//	tcfleet run [-spec campaign.json] [-socs a,b] [-mixes a,b] [-faults a,b]
+//	            [-res n,m] [-seeds N] [-seed N] [-cycles N] [-framed] [-degrade]
+//	            [-workers N] [-json] [-out fleet.json] [-outdir reports/]
+//	            [-trace spans.json] [-metrics :addr]
 //
-// Each argument is a run-report file or a directory whose *.json files
-// are ingested. Reports with an unknown or newer schema are skipped with
-// a warning.
+// The bare form "tcfleet report-dir ..." is a deprecated alias for
+// "tcfleet aggregate". Interrupting a campaign (Ctrl-C) stops the
+// in-flight sessions and flushes the partial aggregate.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
+	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/profiling"
+	"repro/internal/workload"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "tcfleet:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	jsonOut := flag.Bool("json", false, "print the fleet profile as JSON instead of tables")
-	outPath := flag.String("out", "", "additionally write the fleet profile JSON to this file")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		return fmt.Errorf("no inputs; usage: tcfleet [-json] [-out fleet.json] report-dir|report.json ...")
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("no arguments; usage:\n" +
+			"  tcfleet aggregate [-json] [-out fleet.json] report-dir|report.json ...\n" +
+			"  tcfleet run [-spec campaign.json] [flags]")
+	}
+	switch args[0] {
+	case "aggregate":
+		return runAggregate(args[1:])
+	case "run":
+		return runCampaign(args[1:])
+	case "-h", "-help", "--help", "help":
+		flag.Usage()
+		return nil
+	default:
+		// Historical invocation: tcfleet [flags] report-dir|report.json ...
+		fmt.Fprintln(os.Stderr,
+			"tcfleet: note: bare invocation is deprecated, use \"tcfleet aggregate ...\"")
+		return runAggregate(args)
+	}
+}
+
+func runAggregate(args []string) error {
+	fs := flag.NewFlagSet("tcfleet aggregate", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "print the fleet profile as JSON instead of tables")
+	outPath := fs.String("out", "", "additionally write the fleet profile JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no inputs; usage: tcfleet aggregate [-json] [-out fleet.json] report-dir|report.json ...")
 	}
 
-	paths, err := collect(flag.Args())
+	paths, err := collect(fs.Args())
 	if err != nil {
 		return err
 	}
-	var ids []string
-	var reports []*profiling.RunReport
+	acc := profiling.NewAccumulator()
 	skipped := 0
 	for _, p := range paths {
 		r, err := profiling.LoadRunReport(p)
@@ -55,35 +91,201 @@ func run() error {
 			skipped++
 			continue
 		}
-		ids = append(ids, filepath.Base(p))
-		reports = append(reports, r)
+		acc.Add(filepath.Base(p), r)
 	}
-	if len(reports) == 0 {
+	if acc.Len() == 0 {
 		return fmt.Errorf("no valid run reports among %d file(s)", len(paths))
 	}
+	fp, err := acc.Finalize()
+	if err != nil {
+		return err
+	}
+	return emit(fp, *jsonOut, *outPath, func() { printProfile(fp, skipped) })
+}
 
-	fp, err := profiling.Aggregate(ids, reports)
+// uint64List parses a comma-separated list of unsigned integers.
+func uint64List(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []uint64
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", tok, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+func runCampaign(args []string) error {
+	fs := flag.NewFlagSet("tcfleet run", flag.ExitOnError)
+	specPath := fs.String("spec", "", "campaign spec file (JSON matrix); flags set explicitly override it")
+	name := fs.String("name", "", "campaign name")
+	socs := fs.String("socs", "", "comma-separated SoC presets (default TC1797)")
+	mixes := fs.String("mixes", "", "comma-separated workload mixes (have: "+strings.Join(workload.MixNames(), ", ")+")")
+	faults := fs.String("faults", "", "comma-separated fault scenarios or k=v plans (default clean)")
+	res := fs.String("res", "", "comma-separated resolutions (default 1000)")
+	seeds := fs.Int("seeds", 0, "seed variants per configuration (default 1)")
+	seed := fs.Uint64("seed", 0, "campaign master seed (cell seeds derive from it)")
+	cycles := fs.Uint64("cycles", 0, "simulation horizon per cell (default 1000000)")
+	framed := fs.Bool("framed", false, "harden the trace path on every cell")
+	degrade := fs.Bool("degrade", false, "enable graceful degradation on every cell")
+	workers := fs.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "print the fleet profile as JSON instead of tables")
+	outPath := fs.String("out", "", "write the fleet profile JSON to this file")
+	outDir := fs.String("outdir", "", "write each cell's run report into this directory as it completes")
+	tracePath := fs.String("trace", "", "write the campaign phases as a Chrome trace")
+	metricsAddr := fs.String("metrics", "", "serve live campaign metrics at http://ADDR/metrics for the duration of the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q (campaign cells come from -spec or dimension flags)", fs.Args())
+	}
+
+	var m campaign.Matrix
+	if *specPath != "" {
+		var err error
+		if m, err = campaign.Load(*specPath); err != nil {
+			return err
+		}
+	}
+	var listErr error
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "name":
+			m.Name = *name
+		case "socs":
+			m.SoCs = splitList(*socs)
+		case "mixes":
+			m.Mixes = splitList(*mixes)
+		case "faults":
+			m.Faults = splitList(*faults)
+		case "res":
+			if v, err := uint64List(*res); err != nil {
+				listErr = fmt.Errorf("-res: %w", err)
+			} else {
+				m.Resolutions = v
+			}
+		case "seeds":
+			m.Seeds = *seeds
+		case "seed":
+			m.Seed = *seed
+		case "cycles":
+			m.Cycles = *cycles
+		case "framed":
+			m.Framed = *framed
+		case "degrade":
+			m.Degrade = *degrade
+		}
+	})
+	if listErr != nil {
+		return listErr
+	}
+
+	opt := campaign.Options{Workers: *workers, Obs: obs.New()}
+	if *tracePath != "" {
+		opt.Tracer = obs.NewTracer()
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		dir := *outDir
+		opt.OnReport = func(c campaign.Cell, r *profiling.RunReport) {
+			path := filepath.Join(dir, c.ID+".json")
+			if err := writeFile(path, r.WriteJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "tcfleet: %v\n", err)
+			}
+		}
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", opt.Obs)
+		go http.Serve(ln, mux)
+		fmt.Fprintf(os.Stderr, "tcfleet: metrics at http://%s/metrics\n", ln.Addr())
+	}
+
+	fmt.Fprintf(os.Stderr, "tcfleet: campaign %q: %d cells\n", m.Name, m.Size())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res2, err := campaign.Run(ctx, m, opt)
 	if err != nil {
 		return err
 	}
 
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
+	for _, ce := range res2.Errors {
+		fmt.Fprintf(os.Stderr, "tcfleet: cell failed: %v\n", ce)
+	}
+	status := ""
+	if res2.Canceled {
+		status = " (canceled — partial aggregate)"
+	}
+	fmt.Fprintf(os.Stderr,
+		"tcfleet: %d/%d sessions completed, %d failed, %d workers, %.2fs wall, %.1fM simulated cycles%s\n",
+		res2.Completed, res2.Cells, res2.Failed, res2.Workers,
+		res2.Wall.Seconds(), float64(res2.SimCycles)/1e6, status)
+	if res2.Profile == nil {
+		return fmt.Errorf("no sessions completed")
+	}
+	if *tracePath != "" {
+		if err := writeFile(*tracePath, opt.Tracer.WriteChromeTrace); err != nil {
 			return err
 		}
-		if err := writeJSON(f, fp); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "tcfleet: campaign trace written to %s\n", *tracePath)
+	}
+	return emit(res2.Profile, *jsonOut, *outPath, func() { printProfile(res2.Profile, 0) })
+}
+
+// emit writes the profile to -out when requested and renders it to
+// stdout, as JSON or as tables.
+func emit(fp *profiling.FleetProfile, jsonOut bool, outPath string, table func()) error {
+	if outPath != "" {
+		if err := writeFile(outPath, fp.WriteJSON); err != nil {
 			return err
 		}
 	}
-	if *jsonOut {
-		return writeJSON(os.Stdout, fp)
+	if jsonOut {
+		return fp.WriteJSON(os.Stdout)
 	}
-	print(fp, skipped)
+	table()
+	return nil
+}
+
+// writeFile creates path and streams write into it, surfacing both write
+// and close errors.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
 	return nil
 }
 
@@ -118,13 +320,7 @@ func collect(args []string) ([]string, error) {
 	return out, nil
 }
 
-func writeJSON(w io.Writer, fp *profiling.FleetProfile) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(fp)
-}
-
-func print(fp *profiling.FleetProfile, skipped int) {
+func printProfile(fp *profiling.FleetProfile, skipped int) {
 	var cycles uint64
 	for _, r := range fp.Runs {
 		cycles += r.Cycles
@@ -135,13 +331,13 @@ func print(fp *profiling.FleetProfile, skipped int) {
 	}
 	fmt.Printf(", %d cycles total\n\n", cycles)
 
-	fmt.Printf("%-28s %-10s %-12s %10s %8s\n", "run", "soc", "faults", "conf", "weight")
+	fmt.Printf("%-40s %-10s %-12s %10s %8s\n", "run", "soc", "faults", "conf", "weight")
 	for _, r := range fp.Runs {
 		faults := r.FaultPlan
 		if faults == "" {
 			faults = "-"
 		}
-		fmt.Printf("%-28s %-10s %-12s %9.1f%% %8.3f\n",
+		fmt.Printf("%-40s %-10s %-12s %9.1f%% %8.3f\n",
 			r.ID, r.SoC, faults, 100*r.Confidence, r.Weight)
 	}
 

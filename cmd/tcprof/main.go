@@ -6,27 +6,44 @@
 //
 // Usage:
 //
-//	tcprof [-soc TC1797|TC1767] [-seed N] [-cycles N] [-res N]
-//	       [-csv timeline.csv] [-rawtrace trace.bin] [-flow]
-//	       [-faults scenario|k=v,...] [-framed] [-degrade]
+//	tcprof [-soc TC1797|TC1767|TC1797DC] [-seed N] [-cycles N] [-res N]
+//	       [-mix engine|lean|...] [-csv timeline.csv] [-rawtrace trace.bin]
+//	       [-flow] [-faults scenario|k=v,...] [-framed] [-degrade]
 //	       [-json report.json] [-trace spans.json] [-metrics :addr]
+//
+// Interrupting a run (Ctrl-C) cancels the measurement but still drains the
+// session: the partial profile of the cycles that did run is reported.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 
-	"repro/internal/dap"
-	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/profiling"
+	"repro/internal/runcfg"
 	"repro/internal/soc"
 	"repro/internal/workload"
 )
+
+// joinNames renders a name list for flag help text.
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -36,59 +53,41 @@ func main() {
 }
 
 func run() error {
-	socName := flag.String("soc", "TC1797", "SoC preset (the ED twin is used)")
-	seed := flag.Uint64("seed", 1, "workload seed")
-	cycles := flag.Uint64("cycles", 1_000_000, "measurement horizon in CPU cycles")
-	res := flag.Uint64("res", 1000, "resolution (basis events per sample window)")
+	rc := runcfg.Bind(flag.CommandLine, runcfg.Default())
+	mix := flag.String("mix", "engine", "workload mix (one of: "+joinNames(workload.MixNames())+")")
 	csvPath := flag.String("csv", "", "write the per-window timeline as CSV")
 	rawPath := flag.String("rawtrace", "", "write the raw DAP byte stream (decode with tracedump)")
 	flow := flag.Bool("flow", false, "additionally record the program flow trace")
 	diagnose := flag.Float64("diagnose", 0, "diagnose windows with IPC below this threshold")
 	plot := flag.Bool("plot", false, "render each parameter's timeline as a sparkline")
-	faults := flag.String("faults", "", "fault scenario (clean|noisy-link|flaky-cable|soft-errors|fifo-jam|everything) or k=v list (corrupt=,trunc=,drop=,stall=,stallmin=,stallmax=,flip=,jam=,jammin=,jammax=)")
-	framed := flag.Bool("framed", false, "harden the trace path: CRC/seq frames + reliable DAP (implied by -faults)")
-	degrade := flag.Bool("degrade", false, "enable graceful degradation (widen resolution under buffer pressure)")
 	jsonPath := flag.String("json", "", "write the versioned machine-readable run report (aggregate with tcfleet)")
 	tracePath := flag.String("trace", "", "write the pipeline phases as a Chrome trace (load in about://tracing)")
 	metricsAddr := flag.String("metrics", "", "serve live pipeline metrics at http://ADDR/metrics for the duration of the run")
 	flag.Parse()
 
-	var cfg soc.Config
-	switch *socName {
-	case "TC1797":
-		cfg = soc.TC1797()
-	case "TC1767":
-		cfg = soc.TC1767()
-	default:
-		return fmt.Errorf("unknown SoC %q", *socName)
+	if err := rc.Validate(); err != nil {
+		return err
+	}
+	cfg, err := rc.SoCConfig()
+	if err != nil {
+		return err
 	}
 	cfg = cfg.WithED()
 
-	spec := workload.Spec{
-		Name: "cli", Seed: *seed, CodeKB: 24, TableKB: 32, FilterTaps: 16,
-		DiagBranches: 12, ADCPeriod: 2500, TimerPeriod: 9000, CANMeanGap: 5000,
-		EEPROMEmul: true,
+	spec, ok := workload.Mix(*mix, rc.Seed)
+	if !ok {
+		return fmt.Errorf("unknown workload mix %q (have %s)", *mix, joinNames(workload.MixNames()))
 	}
-	s := soc.New(cfg, *seed)
+	s := soc.New(cfg, rc.Seed)
 	app, err := workload.Build(s, spec)
 	if err != nil {
 		return err
 	}
 
 	params := append(profiling.StandardParams(), profiling.PCPParams()...)
-	dapCfg := dap.DefaultConfig(cfg.CPUFreqMHz)
-	profSpec := profiling.Spec{
-		Resolution: *res, Params: params, DAP: &dapCfg, Framed: *framed,
-	}
-	if *faults != "" {
-		plan, err := fault.Parse(*faults, *seed)
-		if err != nil {
-			return err
-		}
-		profSpec.Fault = &plan
-	}
-	if *degrade {
-		profSpec.Degrade = &profiling.DegradePolicy{}
+	profSpec, err := rc.SessionSpec(params)
+	if err != nil {
+		return err
 	}
 	if *jsonPath != "" || *metricsAddr != "" {
 		profSpec.Obs = obs.New()
@@ -113,7 +112,14 @@ func run() error {
 		fmt.Printf("metrics: serving http://%s/metrics\n", ln.Addr())
 	}
 
-	sess.Run(app, *cycles)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := sess.Run(ctx, app, rc.Cycles); err != nil {
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tcprof: %v — reporting the partial profile\n", err)
+	}
 	prof, err := sess.Result(spec.Name)
 	if err != nil {
 		return err
@@ -121,7 +127,7 @@ func run() error {
 
 	e := s.EMEM
 	fmt.Printf("%s  %d cycles  %d instructions  resolution %d\n",
-		cfg.Name, prof.Cycles, prof.Instr, *res)
+		cfg.Name, prof.Cycles, prof.Instr, rc.Resolution)
 	fmt.Printf("trace: %d bytes emitted, %d messages lost, DAP drained %d bytes\n",
 		prof.TraceBytes, prof.MsgsLost, sess.DAP.TotalDrained)
 	fmt.Printf("ring: peak %d / %d bytes (%.1f%%), %d overflows\n",
@@ -212,7 +218,7 @@ func run() error {
 		fmt.Printf("raw trace written to %s (%d bytes)\n", *rawPath, len(sess.DAP.Received))
 	}
 	if *jsonPath != "" {
-		if err := writeFile(*jsonPath, sess.RunReport(prof, *seed).WriteJSON); err != nil {
+		if err := writeFile(*jsonPath, sess.RunReport(prof, rc.Seed).WriteJSON); err != nil {
 			return err
 		}
 		fmt.Printf("run report written to %s\n", *jsonPath)

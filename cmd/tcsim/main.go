@@ -14,15 +14,16 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/runcfg"
 	"repro/internal/sim"
 	"repro/internal/soc"
 	"repro/internal/workload"
 )
 
 func main() {
-	socName := flag.String("soc", "TC1797", "SoC preset: TC1797 or TC1767")
-	seed := flag.Uint64("seed", 1, "workload seed")
-	cycles := flag.Uint64("cycles", 2_000_000, "simulation horizon in CPU cycles")
+	def := runcfg.Default()
+	def.Cycles = 2_000_000
+	rc := runcfg.BindBase(flag.CommandLine, def)
 	codeKB := flag.Int("code", 24, "code footprint in KB")
 	tableKB := flag.Int("tables", 32, "lookup table size in KB")
 	taps := flag.Int("taps", 16, "filter length")
@@ -33,36 +34,35 @@ func main() {
 	instrumented := flag.Bool("instrumented", false, "inject software profiling instrumentation")
 	flag.Parse()
 
-	var cfg soc.Config
-	switch *socName {
-	case "TC1797":
-		cfg = soc.TC1797()
-	case "TC1767":
-		cfg = soc.TC1767()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown SoC %q\n", *socName)
+	if err := rc.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg, err := rc.SoCConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
 	spec := workload.Spec{
-		Name: "cli", Seed: *seed, CodeKB: *codeKB, TableKB: *tableKB,
+		Name: "cli", Seed: rc.Seed, CodeKB: *codeKB, TableKB: *tableKB,
 		FilterTaps: *taps, DiagBranches: 12,
 		ADCPeriod: 2500, TimerPeriod: 9000, CANMeanGap: 5000,
 		TablesInScratch: *scratch, CANOnPCP: *onPCP, CANViaDMA: *viaDMA,
 		EEPROMEmul: *eeprom, Instrumented: *instrumented,
 	}
-	s := soc.New(cfg, *seed)
+	s := soc.New(cfg, rc.Seed)
 	app, err := workload.Build(s, spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	app.RunFor(*cycles)
+	app.RunFor(rc.Cycles)
 
 	c := s.CPU.Counters()
 	instr := c.Get(sim.EvInstrExecuted)
 	cy := c.Get(sim.EvCycle)
-	fmt.Printf("SoC %s  seed %d  horizon %d cycles\n", cfg.Name, *seed, *cycles)
+	fmt.Printf("SoC %s  seed %d  horizon %d cycles\n", cfg.Name, rc.Seed, rc.Cycles)
 	fmt.Printf("  program size        %d bytes (%d symbols)\n", app.Prog.Size(), len(app.Prog.Syms))
 	fmt.Printf("  instructions        %d\n", instr)
 	fmt.Printf("  IPC                 %.3f\n", float64(instr)/float64(cy))

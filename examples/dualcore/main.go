@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,7 +48,10 @@ func main() {
 	params = append(params, profiling.PCPParams()...)
 	sess := profiling.NewSession(s, profiling.Spec{Resolution: 1000, Params: params})
 
-	engine.RunFor(800_000) // one shared clock advances both cores
+	// One shared clock advances both cores.
+	if err := sess.Run(context.Background(), engine, 800_000); err != nil {
+		log.Fatal(err)
+	}
 
 	prof, err := sess.Result("dualcore")
 	if err != nil {

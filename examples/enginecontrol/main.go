@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,9 @@ func main() {
 	})
 	sess.CPUObs().FlowTrace = true
 
-	app.RunFor(1_500_000)
+	if err := sess.Run(context.Background(), app, 1_500_000); err != nil {
+		log.Fatal(err)
+	}
 	prof, err := sess.Result("engine")
 	if err != nil {
 		log.Fatal(err)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,8 +36,11 @@ func main() {
 		Params:     profiling.StandardParams(),
 	})
 
-	// 4. Run and read the profile back.
-	app.RunFor(500_000)
+	// 4. Run and read the profile back (the context makes long measurement
+	//    runs cancellable; Background means "run to the horizon").
+	if err := sess.Run(context.Background(), app, 500_000); err != nil {
+		log.Fatal(err)
+	}
 	prof, err := sess.Result("quickstart")
 	if err != nil {
 		log.Fatal(err)

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dap"
@@ -28,7 +29,9 @@ func TestQuickstartWorkflow(t *testing.T) {
 		Params:     profiling.StandardParams(),
 		DAP:        &link,
 	})
-	app.RunFor(500_000)
+	if err := sess.Run(context.Background(), app, 500_000); err != nil {
+		t.Fatal(err)
+	}
 	prof, err := sess.Result("quickstart")
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +68,9 @@ func TestEndToEndDeterminism(t *testing.T) {
 		sess := profiling.NewSession(s, profiling.Spec{
 			Resolution: 500, Params: profiling.StandardParams(),
 		})
-		app.RunFor(300_000)
+		if err := sess.Run(context.Background(), app, 300_000); err != nil {
+			t.Fatal(err)
+		}
 		prof, err := sess.Result("det")
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,45 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// benchMatrix is the BENCH_pr3 scaling matrix: 8 independent sessions
+// of 50k cycles each, so a pool of up to 8 workers has enough parallel
+// slack to show its scaling curve.
+func benchMatrix() Matrix {
+	return Matrix{
+		Name:        "bench",
+		Seed:        11,
+		Seeds:       2,
+		SoCs:        []string{"TC1797"},
+		Mixes:       []string{"lean", "engine"},
+		Faults:      []string{"clean", "everything"},
+		Resolutions: []uint64{1000},
+		Cycles:      50_000,
+	}
+}
+
+// BenchmarkCampaignWorkers measures campaign wall time against worker
+// count (the BENCH_pr3 scaling curve). On a single-CPU host the curve
+// is flat — the workers serialize on GOMAXPROCS — so the speedup
+// acceptance is judged on multi-core CI runners.
+func BenchmarkCampaignWorkers(b *testing.B) {
+	m := benchMatrix()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Run(context.Background(), m, Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed != res.Cells {
+					b.Fatalf("completed %d of %d", res.Completed, res.Cells)
+				}
+				b.ReportMetric(float64(res.SimCycles)/res.Wall.Seconds(), "simcycles/s")
+			}
+		})
+	}
+}

@@ -1,0 +1,219 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/profiling"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+// Options tunes campaign execution. The zero value runs with GOMAXPROCS
+// workers and no instrumentation.
+type Options struct {
+	// Workers bounds the worker pool; <=0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Obs receives campaign throughput metrics (sessions done/failed,
+	// sessions/sec, simulated cycles/sec, per-worker utilization). Nil or
+	// obs.Disabled switches instrumentation off.
+	Obs *obs.Registry
+	// Tracer records the campaign phases (expand, execute, aggregate) and
+	// one span per session, for about://tracing inspection.
+	Tracer *obs.Tracer
+	// OnReport, when set, observes every completed run report as it
+	// lands, before aggregation. It is called concurrently from worker
+	// goroutines and must be safe for parallel use.
+	OnReport func(Cell, *profiling.RunReport)
+}
+
+// CellError records one failed cell.
+type CellError struct {
+	Cell Cell
+	Err  error
+}
+
+func (e CellError) Error() string { return fmt.Sprintf("%s: %v", e.Cell.ID, e.Err) }
+
+// Result is the outcome of a campaign run.
+type Result struct {
+	Cells     int           // expanded matrix size
+	Completed int           // sessions that produced a report
+	Failed    int           // sessions that errored (see Errors)
+	Canceled  bool          // the context fired before all cells ran
+	SimCycles uint64        // total simulated cycles across completed sessions
+	Wall      time.Duration // wall-clock duration of the execute phase
+	Workers   int           // effective worker count
+	// Profile is the canonical fleet aggregate over all completed
+	// sessions — the partial aggregate when the campaign was canceled,
+	// nil when nothing completed.
+	Profile *profiling.FleetProfile
+	// Errors lists failed cells in index order.
+	Errors []CellError
+}
+
+// runCell executes one expanded cell end to end: build the SoC twin and
+// workload, run the measurement under ctx, drain and assemble the
+// profile, and emit the machine-readable run report.
+func runCell(ctx context.Context, cell Cell) (*profiling.RunReport, error) {
+	cfg, err := cell.Run.SoCConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.WithED()
+	spec, ok := workload.Mix(cell.Mix, cell.Run.Seed)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload mix %q", cell.Mix)
+	}
+	s := soc.New(cfg, cell.Run.Seed)
+	app, err := workload.Build(s, spec)
+	if err != nil {
+		return nil, err
+	}
+	params := append(profiling.StandardParams(), profiling.PCPParams()...)
+	profSpec, err := cell.Run.SessionSpec(params)
+	if err != nil {
+		return nil, err
+	}
+	sess := profiling.NewSession(s, profSpec)
+	if err := sess.Run(ctx, app, cell.Run.Cycles); err != nil {
+		return nil, err
+	}
+	prof, err := sess.Result(spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	return sess.RunReport(prof, cell.Run.Seed), nil
+}
+
+// Run expands the matrix and executes every cell across the worker
+// pool, streaming completed reports into the fleet aggregator. It
+// returns an error only for an unusable matrix; per-cell failures are
+// collected in Result.Errors. When ctx is canceled, in-flight sessions
+// stop at the next cancellation poll, pending cells are skipped, and
+// the reports gathered so far are flushed into a partial aggregate.
+//
+// For a full (uncanceled) campaign the resulting Profile is
+// byte-identical for any worker count: cell seeds are fixed at
+// expansion time and the aggregator canonicalizes its output.
+func Run(ctx context.Context, m Matrix, opt Options) (*Result, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	expSpan := opt.Tracer.Start("expand", "campaign")
+	cells, err := m.Expand()
+	expSpan.End()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Cells: len(cells), Workers: workers}
+	if workers > len(cells) {
+		workers = len(cells)
+		res.Workers = workers
+	}
+
+	cellsTotal := opt.Obs.Counter("campaign_cells_total")
+	doneCtr := opt.Obs.Counter("campaign_sessions_done")
+	failCtr := opt.Obs.Counter("campaign_sessions_failed")
+	sessRate := opt.Obs.Gauge("campaign_sessions_per_sec")
+	cycleRate := opt.Obs.Gauge("campaign_sim_cycles_per_sec")
+	cellsTotal.Add(uint64(len(cells)))
+
+	acc := profiling.NewAccumulator()
+	var (
+		mu        sync.Mutex // guards errs, simCycles
+		errs      []CellError
+		simCycles uint64
+	)
+
+	feed := make(chan Cell)
+	execSpan := opt.Tracer.Start("execute", "campaign")
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var busy time.Duration
+			for cell := range feed {
+				cellStart := time.Now()
+				sp := opt.Tracer.Start("cell:"+cell.ID, "session")
+				report, err := runCell(ctx, cell)
+				sp.End()
+				busy += time.Since(cellStart)
+				switch {
+				case err == nil:
+					if opt.OnReport != nil {
+						opt.OnReport(cell, report)
+					}
+					acc.Add(cell.ID, report)
+					doneCtr.Inc()
+					mu.Lock()
+					simCycles += report.Cycles
+					mu.Unlock()
+					elapsed := time.Since(start).Seconds()
+					if elapsed > 0 {
+						mu.Lock()
+						cy := simCycles
+						mu.Unlock()
+						sessRate.Set(float64(acc.Len()) / elapsed)
+						cycleRate.Set(float64(cy) / elapsed)
+					}
+				case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+					// Canceled mid-cell: neither completed nor failed.
+				default:
+					failCtr.Inc()
+					mu.Lock()
+					errs = append(errs, CellError{Cell: cell, Err: err})
+					mu.Unlock()
+				}
+			}
+			if wall := time.Since(start); wall > 0 {
+				opt.Obs.Gauge(fmt.Sprintf("campaign_worker%02d_util", w)).
+					Set(busy.Seconds() / wall.Seconds())
+			}
+		}(w)
+	}
+
+	// Feed cells in index order; stop feeding as soon as ctx fires (the
+	// workers themselves stop their in-flight session at the next poll).
+feedLoop:
+	for _, cell := range cells {
+		select {
+		case feed <- cell:
+		case <-ctx.Done():
+			break feedLoop
+		}
+	}
+	close(feed)
+	wg.Wait()
+	res.Wall = time.Since(start)
+	execSpan.End()
+
+	res.Canceled = ctx.Err() != nil
+	res.Completed = acc.Len()
+	res.Failed = len(errs)
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Cell.Index < errs[j].Cell.Index })
+	res.Errors = errs
+	res.SimCycles = simCycles
+
+	if res.Completed > 0 {
+		aggSpan := opt.Tracer.Start("aggregate", "campaign")
+		fp, err := acc.Finalize()
+		aggSpan.End()
+		if err != nil {
+			return nil, err
+		}
+		res.Profile = fp
+	}
+	return res, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -48,7 +49,9 @@ func ProfileApp(cfg soc.Config, spec workload.Spec, horizon uint64) (AppProfile,
 		Resolution: 1000,
 		Params:     profiling.StandardParams(),
 	})
-	app.RunFor(horizon)
+	if err := sess.Run(context.Background(), app, horizon); err != nil {
+		return AppProfile{}, err
+	}
 	p, err := sess.Result(spec.Name)
 	if err != nil {
 		return AppProfile{}, err

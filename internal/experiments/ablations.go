@@ -31,7 +31,7 @@ func A1RateBasis() *Table {
 	spec := referenceSpec()
 	spec.CodeKB = 64 // enough footprint for a visible miss rate
 	measure := func(ws uint64) (perInstr, perCycle, ipc float64) {
-		cfg := soc.TC1797().WithED()
+		cfg := baseCfg().WithED()
 		cfg.Flash.WaitStates = ws
 		s, app := buildRef(cfg, spec)
 		sess := profiling.NewSession(s, profiling.Spec{Resolution: 1000, Params: []profiling.Param{
@@ -39,7 +39,7 @@ func A1RateBasis() *Table {
 			{Name: "imiss_pc", Obs: profiling.ObsCPU, Event: sim.EvICacheMiss, Basis: sim.EvCycle},
 			{Name: "ipc", Obs: profiling.ObsCPU, Event: sim.EvInstrExecuted, Basis: sim.EvCycle},
 		}})
-		app.RunFor(500_000)
+		measure(sess, app, 500_000)
 		p, err := sess.Result("a1")
 		if err != nil {
 			panic(err)
@@ -84,11 +84,11 @@ func A2Compression() *Table {
 		"encoding", "messages", "bytes", "bytes/msg")
 
 	// Produce a realistic mixed stream: rate messages + flow trace.
-	s, app := buildRef(soc.TC1797().WithED(), referenceSpec())
+	s, app := buildRef(baseCfg().WithED(), referenceSpec())
 	sess := profiling.NewSession(s, profiling.Spec{Resolution: 1000,
 		Params: profiling.StandardParams()})
 	sess.CPUObs().FlowTrace = true
-	app.RunFor(300_000)
+	measure(sess, app, 300_000)
 	raw := s.EMEM.Drain(s.EMEM.Level())
 	var dec tmsg.Decoder
 	msgs, _, err := dec.DecodeAll(raw)
@@ -168,7 +168,7 @@ func A4TraceBufferSizing() *Table {
 		"trace ring", "messages emitted", "messages lost", "loss")
 
 	for _, kb := range []uint32{2, 8, 32, 128, 384} {
-		s, app := buildRef(soc.TC1797().WithED(), referenceSpec())
+		s, app := buildRef(baseCfg().WithED(), referenceSpec())
 		ring := newRing(kb << 10)
 		m := mcds.New("mcds", ring)
 		obs := m.AddCore(s.CPU, 0)

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"repro/internal/runcfg"
+	"repro/internal/soc"
+)
+
+// base is the run configuration every experiment derives its reference
+// environment from: the SoC preset the tables are measured on and the
+// workload seed of the reference application. The defaults reproduce
+// the published tables (TC1797, seed 2024); the experiments driver can
+// override them via SetBase to re-run the evaluation on another preset
+// or customer variant.
+var base = func() runcfg.Run {
+	r := runcfg.Default()
+	r.Seed = 2024
+	return r
+}()
+
+// SetBase replaces the experiments' base run configuration. It
+// validates through the single runcfg.Validate path; per-experiment
+// horizons are fixed, so only the SoC and seed take effect.
+func SetBase(r runcfg.Run) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	base = r
+	return nil
+}
+
+// baseCfg resolves the base SoC preset (validated in SetBase, so a
+// resolution failure here is a bug).
+func baseCfg() soc.Config {
+	cfg, err := base.SoCConfig()
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}

@@ -6,7 +6,6 @@ import (
 	"repro/internal/dap"
 	"repro/internal/fault"
 	"repro/internal/profiling"
-	"repro/internal/soc"
 	"repro/internal/tmsg"
 )
 
@@ -30,7 +29,7 @@ func E10FaultRecovery() *Table {
 		{"0.1%", 0.001},
 		{"1%", 0.01},
 	} {
-		s, app := buildRef(soc.TC1797().WithED(), referenceSpec())
+		s, app := buildRef(baseCfg().WithED(), referenceSpec())
 		link := dap.DefaultConfig(s.Cfg.CPUFreqMHz)
 		var plan *fault.Plan
 		if level.prob > 0 {
@@ -44,7 +43,7 @@ func E10FaultRecovery() *Table {
 			Resolution: 500, Params: profiling.StandardParams(),
 			DAP: &link, Framed: true, Fault: plan,
 		})
-		app.RunFor(400_000)
+		measure(sess, app, 400_000)
 		prof, err := sess.Result("engine")
 		if err != nil {
 			panic(err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/dap"
 	"repro/internal/isa"
 	"repro/internal/mcds"
@@ -15,7 +16,7 @@ import (
 // referenceSpec is the engine-control application most experiments profile.
 func referenceSpec() workload.Spec {
 	return workload.Spec{
-		Name: "engine", Seed: 2024, CodeKB: 24, TableKB: 32, FilterTaps: 16,
+		Name: "engine", Seed: base.Seed, CodeKB: 24, TableKB: 32, FilterTaps: 16,
 		DiagBranches: 12, ADCPeriod: 2500, TimerPeriod: 9000, CANMeanGap: 5000,
 		EEPROMEmul: true,
 	}
@@ -30,6 +31,14 @@ func buildRef(cfg soc.Config, spec workload.Spec) (*soc.SoC, *workload.App) {
 	return s, app
 }
 
+// measure drives the session's measurement phase; experiments run under no
+// deadline, so cancellation is impossible and any error is a bug.
+func measure(sess *profiling.Session, app profiling.Runner, cycles uint64) {
+	if err := sess.Run(context.Background(), app, cycles); err != nil {
+		panic(err)
+	}
+}
+
 // E1RateSemantics reproduces the Section 5 worked examples: rate counters
 // whose windows are exact — 6 data flash reads per 100 executed
 // instructions ⇒ a 6 % access rate, and the 4-miss ⇒ 96 % hit-rate
@@ -38,7 +47,7 @@ func E1RateSemantics() *Table {
 	t := newTable("E1", "Rate-counter semantics (worked examples of Section 5)",
 		"parameter", "windows", "exact 6/100", "mean rate", "paper value")
 
-	cfg := soc.TC1797().WithED()
+	cfg := baseCfg().WithED()
 	cfg.DCache = nil
 	s := soc.New(cfg, 1)
 	a := isa.NewAsm(mem.FlashBase)
@@ -97,11 +106,11 @@ func E2IPCTimeline() *Table {
 	t := newTable("E2", "Dynamic IPC measurement (cycle-based resolution)",
 		"resolution", "windows", "IPC min", "IPC mean", "IPC max", "trace bytes")
 	for _, res := range []uint64{100, 1000, 10000} {
-		s, app := buildRef(soc.TC1797().WithED(), referenceSpec())
+		s, app := buildRef(baseCfg().WithED(), referenceSpec())
 		sess := profiling.NewSession(s, profiling.Spec{Resolution: res, Params: []profiling.Param{
 			{Name: "ipc", Obs: profiling.ObsCPU, Event: sim.EvInstrExecuted, Basis: sim.EvCycle},
 		}})
-		app.RunFor(400_000)
+		measure(sess, app, 400_000)
 		prof, err := sess.Result("engine")
 		if err != nil {
 			panic(err)
@@ -133,7 +142,7 @@ func E3Bandwidth() *Table {
 	budget := dap.DefaultConfig(180).BytesPerMCycle()
 
 	run := func(res uint64, flow bool) (bytes uint64, windows uint64) {
-		s, app := buildRef(soc.TC1797().WithED(), referenceSpec())
+		s, app := buildRef(baseCfg().WithED(), referenceSpec())
 		var sess *profiling.Session
 		if flow {
 			sess = profiling.NewSession(s, profiling.Spec{Resolution: 1 << 30,
@@ -142,7 +151,7 @@ func E3Bandwidth() *Table {
 		} else {
 			sess = profiling.NewSession(s, profiling.Spec{Resolution: res, Params: params})
 		}
-		app.RunFor(horizon)
+		measure(sess, app, horizon)
 		prof, err := sess.Result("engine")
 		if err != nil {
 			panic(err)
@@ -182,9 +191,9 @@ func E3Bandwidth() *Table {
 	// Like-for-like: deriving a single parameter (IPC) from the full
 	// program trace versus one rate counter stream.
 	singleBytes := func() uint64 {
-		s, app := buildRef(soc.TC1797().WithED(), referenceSpec())
+		s, app := buildRef(baseCfg().WithED(), referenceSpec())
 		sess := profiling.NewSession(s, profiling.Spec{Resolution: 1000, Params: params[:1]})
-		app.RunFor(horizon)
+		measure(sess, app, horizon)
 		prof, err := sess.Result("engine")
 		if err != nil {
 			panic(err)
@@ -235,7 +244,7 @@ func E4Cascade() *Table {
 	)
 
 	build := func() *soc.SoC {
-		s := soc.New(soc.TC1797().WithED(), 9)
+		s := soc.New(baseCfg().WithED(), 9)
 		// Pointer-chase table: 32 KB of word-aligned offsets in flash,
 		// far larger than the 4 KB D-cache.
 		tbl := uint32(mem.FlashBase + 0x20000)

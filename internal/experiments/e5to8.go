@@ -27,13 +27,13 @@ func E5Intrusiveness() *Table {
 	spec := referenceSpec()
 	const iters, limit = 300, 100_000_000
 
-	base, _, err := core.MeasureCycles(soc.TC1797(), spec, iters, limit)
+	base, _, err := core.MeasureCycles(baseCfg(), spec, iters, limit)
 	if err != nil {
 		panic(err)
 	}
 
 	// MCDS-profiled run: identical hardware behaviour (ED + full session).
-	edCfg := soc.TC1797().WithED()
+	edCfg := baseCfg().WithED()
 	s := soc.New(edCfg, spec.Seed)
 	app, err := workload.Build(s, spec)
 	if err != nil {
@@ -50,7 +50,7 @@ func E5Intrusiveness() *Table {
 
 	instSpec := spec
 	instSpec.Instrumented = true
-	cyInst, _, err := core.MeasureCycles(soc.TC1797(), instSpec, iters, limit)
+	cyInst, _, err := core.MeasureCycles(baseCfg(), instSpec, iters, limit)
 	if err != nil {
 		panic(err)
 	}
@@ -80,7 +80,7 @@ func E6OptionRanking(quick bool) *Table {
 		prm.ProfileHorizon = 200_000
 	}
 	fleet := workload.Fleet(n, 77)
-	ev, err := core.Evaluate(soc.TC1797(), fleet, core.Catalog(), prm)
+	ev, err := core.Evaluate(baseCfg(), fleet, core.Catalog(), prm)
 	if err != nil {
 		panic(err)
 	}
@@ -139,7 +139,7 @@ func E7FlashLever() *Table {
 		return cy, float64(c.Get(sim.EvInstrExecuted)) / float64(c.Get(sim.EvCycle))
 	}
 
-	base := soc.TC1797()
+	base := baseCfg()
 	baseCy, baseIPC := measure(base)
 	t.addRow("TC1797 base (5 WS, prefetch, 16K I$)", d(baseCy), f3(baseIPC), "1.00x")
 
@@ -208,7 +208,7 @@ func E8CycleTrace() *Table {
 		"run", "CPU accesses", "PCP accesses", "order violations", "flow instrs reconstructed")
 
 	build := func() (*soc.SoC, uint32) {
-		s := soc.New(soc.TC1797().WithED(), 5)
+		s := soc.New(baseCfg().WithED(), 5)
 		shared := uint32(mem.SRAMBase + 0x100)
 
 		// TriCore: increment the shared variable in a loop.
@@ -341,7 +341,7 @@ func F1FModel(quick bool) *Table {
 		prm.ProfileHorizon = 150_000
 	}
 	fleet := workload.Fleet(n, 31)
-	chain, err := core.FModel(soc.TC1797(), fleet, core.Catalog(), prm, 2)
+	chain, err := core.FModel(baseCfg(), fleet, core.Catalog(), prm, 2)
 	if err != nil {
 		panic(err)
 	}

@@ -21,7 +21,7 @@ func E9Multicore() *Table {
 		"configuration", "rate bytes", "flow-trace bytes", "sources seen", "order ok")
 
 	run := func(secondCore, flow bool) (rateBytes, flowBytes uint64, sources int, ordered bool) {
-		cfg := soc.TC1797().WithED()
+		cfg := baseCfg().WithED()
 		cfg.SecondCore = secondCore
 		s := soc.New(cfg, 13)
 

@@ -32,7 +32,7 @@ func TestDegradationPreventsLoss(t *testing.T) {
 			Resolution: 200, Params: StandardParams(),
 			DAP: &link, Degrade: degrade,
 		})
-		app.RunFor(400_000)
+		mustRun(t, sess, app, 400_000)
 		p, err := sess.Result("app")
 		if err != nil {
 			t.Fatal(err)
@@ -87,7 +87,7 @@ func TestFramedSessionMatchesUnframed(t *testing.T) {
 			Resolution: 500, Params: StandardParams(),
 			DAP: &link, Framed: framed,
 		})
-		app.RunFor(300_000)
+		mustRun(t, sess, app, 300_000)
 		p, err := sess.Result("app")
 		if err != nil {
 			t.Fatal(err)
@@ -140,7 +140,7 @@ func TestFaultySessionQuantifiesLoss(t *testing.T) {
 		Resolution: 500, Params: StandardParams(),
 		DAP: &link, Fault: &plan,
 	})
-	app.RunFor(400_000)
+	mustRun(t, sess, app, 400_000)
 	p, err := sess.Result("app")
 	if err != nil {
 		t.Fatal(err)

@@ -35,7 +35,7 @@ func TestDualCoreProfiling(t *testing.T) {
 	params := append(StandardParams(), CPU1Params()...)
 	sess := NewSession(s, Spec{Resolution: 800, Params: params})
 
-	app0.RunFor(400_000) // advances the shared clock; both cores run
+	mustRun(t, sess, app0, 400_000) // advances the shared clock; both cores run
 	if app1.CPU().Halted() {
 		t.Fatal("core1 app halted")
 	}

@@ -1,9 +1,12 @@
 package profiling
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Fleet aggregation: the paper's end goal is not one measurement but
@@ -56,6 +59,16 @@ type FleetProfile struct {
 	Params []FleetParam `json:"params"`
 }
 
+// WriteJSON writes the profile in its canonical encoding: indented
+// JSON with runs sorted by ID and params by name (the order Finalize
+// establishes). Two profiles over the same reports are byte-identical
+// regardless of how the reports arrived.
+func (fp *FleetProfile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fp)
+}
+
 // Run returns the ingested run with the given ID (nil when absent).
 func (fp *FleetProfile) Run(id string) *FleetRun {
 	for i := range fp.Runs {
@@ -76,57 +89,89 @@ func (fp *FleetProfile) Param(name string) *FleetParam {
 	return nil
 }
 
-// Aggregate builds the fleet profile from run reports. ids names each
-// report (file name, run label); when shorter than reports, missing IDs
-// are synthesized from app/seed/fault plan. Runs and parameters in the
-// result are deterministically ordered (by ID and name respectively).
-func Aggregate(ids []string, reports []*RunReport) (*FleetProfile, error) {
-	if len(reports) == 0 {
+// obsRun is one run's contribution to one parameter's fleet distribution.
+type obsRun struct {
+	id     string
+	weight float64
+	stats  ParamStats
+}
+
+// Accumulator ingests run reports one at a time and produces the fleet
+// profile on demand — the streaming form of Aggregate. A campaign's
+// worker pool streams each completed report in as it lands (any order,
+// any thread) and only the per-parameter summary statistics are retained;
+// the heavy parts of a report (per-window series were never included,
+// observability snapshots are dropped) do not accumulate.
+//
+// Finalize canonicalizes: runs and parameters are sorted by ID and name,
+// and every statistic folds over that sorted order — so the result is
+// byte-identical for any arrival order and therefore for any worker count
+// or scheduling.
+type Accumulator struct {
+	mu      sync.Mutex
+	runs    []FleetRun
+	byParam map[string][]obsRun
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{byParam: map[string][]obsRun{}}
+}
+
+// Add ingests one run report under the given ID (empty: synthesized from
+// app/seed/fault plan). Safe for concurrent use.
+func (a *Accumulator) Add(id string, r *RunReport) {
+	if id == "" {
+		id = fmt.Sprintf("%s-seed%d", r.App, r.Seed)
+		if r.FaultPlan != "" {
+			id += "-" + r.FaultPlan
+		}
+	}
+	w := r.Confidence
+	if w < 0 {
+		w = 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.runs = append(a.runs, FleetRun{
+		ID: id, App: r.App, SoC: r.SoC, Seed: r.Seed,
+		FaultPlan: r.FaultPlan, Cycles: r.Cycles,
+		Confidence: r.Confidence, Weight: w,
+	})
+	for name, ps := range r.Params {
+		a.byParam[name] = append(a.byParam[name], obsRun{id: id, weight: w * ps.Confidence, stats: ps})
+	}
+}
+
+// Len reports how many runs have been ingested.
+func (a *Accumulator) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.runs)
+}
+
+// Finalize assembles the canonical fleet profile from everything ingested
+// so far (a canceled campaign flushes its partial aggregate this way). It
+// errors when nothing was ingested. The accumulator may keep ingesting
+// afterwards; each call re-canonicalizes from scratch.
+func (a *Accumulator) Finalize() (*FleetProfile, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.runs) == 0 {
 		return nil, fmt.Errorf("fleet: no run reports")
 	}
 	fp := &FleetProfile{Schema: ReportSchemaVersion}
-
-	type obsRun struct {
-		id     string
-		weight float64
-		stats  ParamStats
-	}
-	byParam := map[string][]obsRun{}
-
-	for i, r := range reports {
-		id := ""
-		if i < len(ids) {
-			id = ids[i]
-		}
-		if id == "" {
-			id = fmt.Sprintf("%s-seed%d", r.App, r.Seed)
-			if r.FaultPlan != "" {
-				id += "-" + r.FaultPlan
-			}
-		}
-		w := r.Confidence
-		if w < 0 {
-			w = 0
-		}
-		fp.Runs = append(fp.Runs, FleetRun{
-			ID: id, App: r.App, SoC: r.SoC, Seed: r.Seed,
-			FaultPlan: r.FaultPlan, Cycles: r.Cycles,
-			Confidence: r.Confidence, Weight: w,
-		})
-		for name, ps := range r.Params {
-			byParam[name] = append(byParam[name], obsRun{id: id, weight: w * ps.Confidence, stats: ps})
-		}
-	}
+	fp.Runs = append(fp.Runs, a.runs...)
 	sort.Slice(fp.Runs, func(i, j int) bool { return fp.Runs[i].ID < fp.Runs[j].ID })
 
-	names := make([]string, 0, len(byParam))
-	for name := range byParam {
+	names := make([]string, 0, len(a.byParam))
+	for name := range a.byParam {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
 	for _, name := range names {
-		runs := byParam[name]
+		runs := append([]obsRun(nil), a.byParam[name]...)
 		sort.Slice(runs, func(i, j int) bool { return runs[i].id < runs[j].id })
 		p := FleetParam{Param: name, Runs: len(runs), Min: math.Inf(1), Max: math.Inf(-1)}
 
@@ -184,6 +229,23 @@ func Aggregate(ids []string, reports []*RunReport) (*FleetProfile, error) {
 		fp.Params = append(fp.Params, p)
 	}
 	return fp, nil
+}
+
+// Aggregate builds the fleet profile from run reports in one shot. ids
+// names each report (file name, run label); when shorter than reports,
+// missing IDs are synthesized from app/seed/fault plan. Runs and
+// parameters in the result are deterministically ordered (by ID and name
+// respectively). It is the batch form of Accumulator.
+func Aggregate(ids []string, reports []*RunReport) (*FleetProfile, error) {
+	acc := NewAccumulator()
+	for i, r := range reports {
+		id := ""
+		if i < len(ids) {
+			id = ids[i]
+		}
+		acc.Add(id, r)
+	}
+	return acc.Finalize()
 }
 
 // quantile returns the q-quantile of sorted values by nearest rank.

@@ -3,6 +3,7 @@ package profiling
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/dap"
@@ -111,7 +112,7 @@ func runForReport(t *testing.T, faults string) *RunReport {
 		spec.Fault = &plan
 	}
 	sess := NewSession(s, spec)
-	sess.Run(app, 400_000)
+	mustRun(t, sess, app, 400_000)
 	p, err := sess.Result("app")
 	if err != nil {
 		t.Fatal(err)
@@ -167,6 +168,76 @@ func TestFleetCleanVsLossyIntegration(t *testing.T) {
 	}
 }
 
+// TestAccumulatorOrderIndependence is the determinism contract the
+// campaign runner builds on: streaming reports into an Accumulator in
+// any order — including concurrently from many goroutines — must yield
+// a profile byte-identical to the batch Aggregate of the same reports.
+func TestAccumulatorOrderIndependence(t *testing.T) {
+	var reports []*RunReport
+	var ids []string
+	for i := 0; i < 16; i++ {
+		conf := 1.0
+		if i%5 == 0 {
+			conf = 0.3 + 0.02*float64(i)
+		}
+		reports = append(reports, synthReport(fmt.Sprintf("app%d", i), uint64(i), conf, 0.9+0.01*float64(i), conf))
+		ids = append(ids, fmt.Sprintf("run%02d", i))
+	}
+	want, err := Aggregate(ids, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := mustFleetJSON(t, want)
+
+	// Reversed sequential order.
+	rev := NewAccumulator()
+	for i := len(reports) - 1; i >= 0; i-- {
+		rev.Add(ids[i], reports[i])
+	}
+	if got, err := rev.Finalize(); err != nil {
+		t.Fatal(err)
+	} else if j := mustFleetJSON(t, got); !bytes.Equal(j, wantJSON) {
+		t.Error("reversed ingest order changed the canonical profile")
+	}
+
+	// Concurrent ingest from one goroutine per report (run with -race).
+	conc := NewAccumulator()
+	var wg sync.WaitGroup
+	for i := range reports {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conc.Add(ids[i], reports[i])
+		}(i)
+	}
+	wg.Wait()
+	if conc.Len() != len(reports) {
+		t.Fatalf("accumulator holds %d runs, want %d", conc.Len(), len(reports))
+	}
+	got, err := conc.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := mustFleetJSON(t, got); !bytes.Equal(j, wantJSON) {
+		t.Error("concurrent ingest changed the canonical profile")
+	}
+	// Finalize must not freeze the accumulator: keep streaming and the
+	// next snapshot reflects the extra run.
+	conc.Add("late", synthReport("late", 99, 1, 1.5, 1))
+	if got, err := conc.Finalize(); err != nil || got.Run("late") == nil {
+		t.Fatalf("post-Finalize ingest lost: run=%v err=%v", got.Run("late"), err)
+	}
+}
+
+func mustFleetJSON(t *testing.T, fp *FleetProfile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // The canonical observability-overhead measurement: a full profiling
 // session over the standard workload, instrumented (live registry on
 // every layer) vs obs.Disabled. Acceptance: ≤5% slowdown.
@@ -179,9 +250,8 @@ func benchSessionObs(b *testing.B, reg *obs.Registry) {
 	}
 	dapCfg := dap.DefaultConfig(cfg.CPUFreqMHz)
 	sess := NewSession(s, Spec{Resolution: 500, Params: StandardParams(), DAP: &dapCfg, Obs: reg})
-	_ = sess
 	b.ResetTimer()
-	app.RunFor(uint64(b.N))
+	mustRun(b, sess, app, uint64(b.N))
 }
 
 func BenchmarkSessionObsDisabled(b *testing.B)     { benchSessionObs(b, obs.Disabled) }

@@ -8,6 +8,7 @@
 package profiling
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -316,13 +317,34 @@ type Runner interface {
 	RunFor(cycles uint64)
 }
 
-// Run advances the application under a "run" pipeline span, so the
-// measurement phase appears on the exported trace timeline alongside
-// drain/decode/assemble. Without a Tracer it is exactly app.RunFor.
-func (sess *Session) Run(app Runner, cycles uint64) {
+// RunCancelEvery is the cancellation granularity of Session.Run, in
+// cycles: the context is polled between ticker batches of this size, so a
+// canceled measurement stops within one batch and the session can still be
+// drained for a partial profile.
+const RunCancelEvery = 4096
+
+// Run advances the application by the measurement horizon under a "run"
+// pipeline span, so the measurement phase appears on the exported trace
+// timeline alongside drain/decode/assemble. Cancellation via ctx is
+// checked every RunCancelEvery cycles; on cancellation Run returns the
+// context's error and the session remains drainable — Result still
+// assembles the profile of the cycles that did run (partial flush).
+func (sess *Session) Run(ctx context.Context, app Runner, cycles uint64) error {
 	sp := sess.spec.Tracer.Start("run", "pipeline")
-	app.RunFor(cycles)
-	sp.End()
+	defer sp.End()
+	for done := uint64(0); done < cycles; {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("profiling: run canceled after %d of %d cycles: %w",
+				done, cycles, err)
+		}
+		chunk := cycles - done
+		if chunk > RunCancelEvery {
+			chunk = RunCancelEvery
+		}
+		app.RunFor(chunk)
+		done += chunk
+	}
+	return nil
 }
 
 // CPUObs exposes the TriCore observation block for custom triggers.

@@ -1,6 +1,8 @@
 package profiling
 
 import (
+	"context"
+	"strings"
 	"testing"
 
 	"repro/internal/dap"
@@ -11,6 +13,15 @@ import (
 	"repro/internal/tmsg"
 	"repro/internal/workload"
 )
+
+// mustRun drives the measurement phase through the context-aware session
+// API, failing the test on unexpected cancellation.
+func mustRun(t testing.TB, sess *Session, app Runner, cycles uint64) {
+	t.Helper()
+	if err := sess.Run(context.Background(), app, cycles); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func buildApp(t *testing.T, cfg soc.Config, spec workload.Spec) (*soc.SoC, *workload.App) {
 	t.Helper()
@@ -32,7 +43,7 @@ func stdSpec() workload.Spec {
 func TestStandardProfileSane(t *testing.T) {
 	s, app := buildApp(t, soc.TC1797().WithED(), stdSpec())
 	sess := NewSession(s, Spec{Resolution: 500, Params: StandardParams()})
-	app.RunFor(500_000)
+	mustRun(t, sess, app, 500_000)
 	p, err := sess.Result("app")
 	if err != nil {
 		t.Fatal(err)
@@ -149,7 +160,7 @@ func TestDAPDrainDuringRun(t *testing.T) {
 	s, app := buildApp(t, soc.TC1797().WithED(), stdSpec())
 	cfg := dap.DefaultConfig(s.Cfg.CPUFreqMHz)
 	sess := NewSession(s, Spec{Resolution: 1000, Params: StandardParams(), DAP: &cfg})
-	app.RunFor(400_000)
+	mustRun(t, sess, app, 400_000)
 	if sess.DAP.TotalDrained == 0 {
 		t.Fatal("DAP drained nothing during the run")
 	}
@@ -165,7 +176,7 @@ func TestDAPDrainDuringRun(t *testing.T) {
 func TestHotWindowDetection(t *testing.T) {
 	s, app := buildApp(t, soc.TC1797().WithED(), stdSpec())
 	sess := NewSession(s, Spec{Resolution: 200, Params: StandardParams()})
-	app.RunFor(400_000)
+	mustRun(t, sess, app, 400_000)
 	p, err := sess.Result("app")
 	if err != nil {
 		t.Fatal(err)
@@ -185,7 +196,7 @@ func TestFunctionProfileFindsHotFunctions(t *testing.T) {
 	s, app := buildApp(t, soc.TC1797().WithED(), stdSpec())
 	sess := NewSession(s, Spec{Resolution: 1000, Params: StandardParams()})
 	sess.CPUObs().FlowTrace = true
-	app.RunFor(300_000)
+	mustRun(t, sess, app, 300_000)
 	raw := s.EMEM.Drain(s.EMEM.Level())
 	var dec tmsg.Decoder
 	msgs, _, err := dec.DecodeAll(raw)
@@ -209,6 +220,47 @@ func TestFunctionProfileFindsHotFunctions(t *testing.T) {
 	}
 	if costs[0].Instr < total/20 {
 		t.Error("hottest function suspiciously cold")
+	}
+}
+
+func TestSessionRunCancellation(t *testing.T) {
+	s, app := buildApp(t, soc.TC1797().WithED(), stdSpec())
+	sess := NewSession(s, Spec{Resolution: 500, Params: StandardParams()})
+
+	// Pre-canceled context: no cycle may execute.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sess.Run(canceled, app, 500_000); err == nil {
+		t.Fatal("pre-canceled run returned nil")
+	}
+	if cy := s.Clock.Cycle(); cy != 0 {
+		t.Fatalf("pre-canceled run advanced %d cycles", cy)
+	}
+
+	// Cancel mid-run: the run stops within one poll batch and the session
+	// remains drainable — Result assembles the partial profile.
+	ctx, cancel2 := context.WithCancel(context.Background())
+	done := uint64(0)
+	stopAt := uint64(40_000)
+	s.Clock.Attach("canary", sim.TickerFunc(func(cycle uint64) {
+		done = cycle
+		if cycle == stopAt {
+			cancel2()
+		}
+	}))
+	err := sess.Run(ctx, app, 10_000_000)
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("mid-run cancellation error = %v", err)
+	}
+	if done < stopAt || done > stopAt+RunCancelEvery {
+		t.Fatalf("run stopped at cycle %d, want within one batch of %d", done, stopAt)
+	}
+	p, resErr := sess.Result("partial")
+	if resErr != nil {
+		t.Fatalf("partial flush failed: %v", resErr)
+	}
+	if len(p.Series["ipc"].Samples) == 0 {
+		t.Fatal("partial profile has no samples")
 	}
 }
 

@@ -89,9 +89,12 @@ func (p *Profile) RunConfidence() float64 {
 	if len(p.Series) == 0 {
 		return ratio
 	}
+	// Fold in canonical name order: float summation over randomized map
+	// iteration would make the confidence differ in the last ulp between
+	// otherwise identical runs, breaking byte-identical campaign output.
 	var conf float64
-	for _, se := range p.Series {
-		conf += se.Confidence()
+	for _, name := range p.Names() {
+		conf += p.Series[name].Confidence()
 	}
 	return ratio * conf / float64(len(p.Series))
 }

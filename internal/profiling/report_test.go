@@ -170,7 +170,7 @@ func TestSessionRunReport(t *testing.T) {
 		Resolution: 500, Params: StandardParams(), DAP: &dapCfg,
 		Obs: reg, Tracer: tr,
 	})
-	sess.Run(app, 300_000)
+	mustRun(t, sess, app, 300_000)
 	p, err := sess.Result("app")
 	if err != nil {
 		t.Fatal(err)
@@ -235,7 +235,7 @@ func TestRunReportDeterministic(t *testing.T) {
 	gen := func() []byte {
 		s, app := buildApp(t, soc.TC1767().WithED(), stdSpec())
 		sess := NewSession(s, Spec{Resolution: 1000, Params: StandardParams()})
-		app.RunFor(200_000)
+		mustRun(t, sess, app, 200_000)
 		p, err := sess.Result("app")
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,133 @@
+// Package runcfg is the single definition of "one profiling run's
+// configuration" shared by every surface that starts runs: the tcprof and
+// tcsim command lines, the experiments driver, and campaign matrix cells.
+// Before it existed, each cmd parsed its own -soc/-seed/-cycles/... flags
+// and resolved preset names with its own switch; the surfaces drifted.
+// Now a Run validates once, resolves once, and serializes as the same JSON
+// shape whether it came from flags or from a campaign spec file.
+package runcfg
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/dap"
+	"repro/internal/fault"
+	"repro/internal/profiling"
+	"repro/internal/soc"
+)
+
+// Run configures one profiling/simulation run. The zero value is not
+// runnable; start from Default() or a campaign expansion.
+type Run struct {
+	SoC        string `json:"soc"`
+	Seed       uint64 `json:"seed"`
+	Cycles     uint64 `json:"cycles"`
+	Resolution uint64 `json:"resolution,omitempty"`
+	// Faults is a fault scenario name or k=v plan (fault.Parse syntax);
+	// empty or "clean" means no injection.
+	Faults  string `json:"faults,omitempty"`
+	Framed  bool   `json:"framed,omitempty"`
+	Degrade bool   `json:"degrade,omitempty"`
+}
+
+// Default returns the canonical run configuration the CLIs use as their
+// flag defaults.
+func Default() Run {
+	return Run{SoC: "TC1797", Seed: 1, Cycles: 1_000_000, Resolution: 1000}
+}
+
+// Validate checks the whole configuration and returns the first problem.
+// It is the one place run configurations are validated, regardless of
+// whether they came from flags, a campaign spec, or code.
+func (r Run) Validate() error {
+	if _, ok := soc.Preset(r.SoC); !ok {
+		return fmt.Errorf("runcfg: unknown SoC %q (have %s)",
+			r.SoC, strings.Join(soc.PresetNames(), ", "))
+	}
+	if r.Cycles == 0 {
+		return fmt.Errorf("runcfg: zero cycle horizon")
+	}
+	if r.Resolution == 0 {
+		return fmt.Errorf("runcfg: zero resolution")
+	}
+	if _, err := r.FaultPlan(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SoCConfig resolves the production SoC preset named by the run.
+func (r Run) SoCConfig() (soc.Config, error) {
+	cfg, ok := soc.Preset(r.SoC)
+	if !ok {
+		return soc.Config{}, fmt.Errorf("runcfg: unknown SoC %q (have %s)",
+			r.SoC, strings.Join(soc.PresetNames(), ", "))
+	}
+	return cfg, nil
+}
+
+// FaultPlan parses the run's fault spec (nil when the run is clean; the
+// name "clean" is accepted as an explicit alias for no injection).
+func (r Run) FaultPlan() (*fault.Plan, error) {
+	if r.Faults == "" || r.Faults == "clean" {
+		return nil, nil
+	}
+	plan, err := fault.Parse(r.Faults, r.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &plan, nil
+}
+
+// SessionSpec assembles the profiling.Spec for this run: the given
+// parameter set at the run's resolution, drained over a DAP sized for the
+// SoC's clock, with framing/faults/degradation as configured. Obs and
+// Tracer wiring is left to the caller.
+func (r Run) SessionSpec(params []profiling.Param) (profiling.Spec, error) {
+	cfg, err := r.SoCConfig()
+	if err != nil {
+		return profiling.Spec{}, err
+	}
+	dapCfg := dap.DefaultConfig(cfg.CPUFreqMHz)
+	spec := profiling.Spec{
+		Resolution: r.Resolution,
+		Params:     params,
+		DAP:        &dapCfg,
+		Framed:     r.Framed,
+	}
+	plan, err := r.FaultPlan()
+	if err != nil {
+		return profiling.Spec{}, err
+	}
+	spec.Fault = plan
+	if r.Degrade {
+		spec.Degrade = &profiling.DegradePolicy{}
+	}
+	return spec, nil
+}
+
+// Bind registers the full run-configuration flag set (-soc, -seed,
+// -cycles, -res, -faults, -framed, -degrade) on fs with defaults from def
+// and returns the destination. Call fs.Parse, then Validate.
+func Bind(fs *flag.FlagSet, def Run) *Run {
+	r := BindBase(fs, def)
+	fs.Uint64Var(&r.Resolution, "res", def.Resolution, "resolution (basis events per sample window)")
+	fs.StringVar(&r.Faults, "faults", def.Faults,
+		"fault scenario (clean|noisy-link|flaky-cable|soft-errors|fifo-jam|everything) or k=v list (corrupt=,trunc=,drop=,stall=,stallmin=,stallmax=,flip=,jam=,jammin=,jammax=)")
+	fs.BoolVar(&r.Framed, "framed", def.Framed, "harden the trace path: CRC/seq frames + reliable DAP (implied by -faults)")
+	fs.BoolVar(&r.Degrade, "degrade", def.Degrade, "enable graceful degradation (widen resolution under buffer pressure)")
+	return r
+}
+
+// BindBase registers only the simulation-level subset (-soc, -seed,
+// -cycles) — what a run without an MCDS (tcsim, experiments) needs.
+func BindBase(fs *flag.FlagSet, def Run) *Run {
+	r := &Run{Resolution: def.Resolution, Faults: def.Faults, Framed: def.Framed, Degrade: def.Degrade}
+	fs.StringVar(&r.SoC, "soc", def.SoC,
+		"SoC preset ("+strings.Join(soc.PresetNames(), "|")+")")
+	fs.Uint64Var(&r.Seed, "seed", def.Seed, "workload seed")
+	fs.Uint64Var(&r.Cycles, "cycles", def.Cycles, "simulation horizon in CPU cycles")
+	return r
+}

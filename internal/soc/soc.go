@@ -109,6 +109,34 @@ func TC1767() Config {
 	return cfg
 }
 
+// TC1797DC returns the dual-core variant of the TC1797 preset: a second
+// TriCore with its own scratchpads and caches sharing buses and flash —
+// the multi-core direction the paper's conclusion points at.
+func TC1797DC() Config {
+	cfg := TC1797()
+	cfg.Name = "TC1797DC"
+	cfg.SecondCore = true
+	return cfg
+}
+
+// Preset returns the named production SoC configuration. Every CLI and
+// campaign spec resolves SoC names through this single table, so the
+// accepted names cannot drift between surfaces.
+func Preset(name string) (Config, bool) {
+	switch name {
+	case "TC1797":
+		return TC1797(), true
+	case "TC1767":
+		return TC1767(), true
+	case "TC1797DC":
+		return TC1797DC(), true
+	}
+	return Config{}, false
+}
+
+// PresetNames lists the names Preset accepts, in display order.
+func PresetNames() []string { return []string{"TC1797", "TC1767", "TC1797DC"} }
+
 // WithED returns the Emulation Device twin of cfg (TC1797 → TC1797ED with
 // 512 KB EMEM, TC1767 → TC1767ED with 256 KB), per the paper's Figure 4.
 func (c Config) WithED() Config {

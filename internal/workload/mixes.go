@@ -1,0 +1,81 @@
+package workload
+
+import "sort"
+
+// Named workload mixes: the campaign runner's vocabulary of customer
+// application shapes. Where Fleet draws random customers from one seeded
+// distribution, a mix is a *stable named point* in that space — the same
+// mix name always denotes the same application structure, so a campaign
+// matrix cell like (TC1767, "canheavy", seed 7) is reproducible across
+// machines and releases. The seed still varies the generated code and
+// traffic within the shape.
+
+// mixes maps each mix name to the structural template it denotes. The
+// Seed and Name fields are filled in by Mix.
+var mixes = map[string]Spec{
+	// The engine-control reference application used throughout the
+	// experiments (EXPERIMENTS.md E2–E8).
+	"engine": {
+		CodeKB: 24, TableKB: 32, FilterTaps: 16, DiagBranches: 12,
+		ADCPeriod: 2500, TimerPeriod: 9000, CANMeanGap: 5000,
+		EEPROMEmul: true,
+	},
+	// Small body-controller style program: tight code, little table data,
+	// light interrupt load. Stresses nothing — the clean baseline shape.
+	"lean": {
+		CodeKB: 6, TableKB: 8, FilterTaps: 6, DiagBranches: 4,
+		ADCPeriod: 4000, TimerPeriod: 16000, CANMeanGap: 9000,
+	},
+	// Cache-hostile calibration shape: large code footprint and big
+	// flash-resident lookup tables with branchy diagnostics.
+	"tableheavy": {
+		CodeKB: 48, TableKB: 64, FilterTaps: 24, DiagBranches: 20,
+		ADCPeriod: 2000, TimerPeriod: 8000, CANMeanGap: 5000,
+		EEPROMEmul: true,
+	},
+	// High CAN traffic handled on the PCP — the HW/SW-split variant the
+	// paper calls out (offload to the peripheral control processor).
+	"canheavy": {
+		CodeKB: 16, TableKB: 16, FilterTaps: 12, DiagBranches: 8,
+		ADCPeriod: 2500, TimerPeriod: 9000, CANMeanGap: 1500,
+		CANOnPCP: true, CRCTask: true,
+	},
+	// DMA-drained CAN with a state observer — a compute-plus-dataflow
+	// shape exercising DMA bus mastering.
+	"dmaflow": {
+		CodeKB: 20, TableKB: 16, FilterTaps: 16, DiagBranches: 8,
+		ADCPeriod: 2200, TimerPeriod: 10000, CANMeanGap: 2500,
+		CANViaDMA: true, ObserverDim: 4,
+	},
+	// Scratchpad-optimized variant of the reference shape (tables in
+	// DSPR) — the paper's flash-avoidance optimization as a customer
+	// mapping choice.
+	"scratchopt": {
+		CodeKB: 24, TableKB: 32, FilterTaps: 16, DiagBranches: 12,
+		ADCPeriod: 2500, TimerPeriod: 9000, CANMeanGap: 5000,
+		TablesInScratch: true, EEPROMEmul: true,
+	},
+}
+
+// Mix returns the named workload mix instantiated for seed (ok=false for
+// an unknown name). The returned spec's Name is the mix name, so run
+// reports and fleet tables show the shape a session profiled.
+func Mix(name string, seed uint64) (Spec, bool) {
+	sp, ok := mixes[name]
+	if !ok {
+		return Spec{}, false
+	}
+	sp.Name = name
+	sp.Seed = seed
+	return sp, true
+}
+
+// MixNames lists the mix names Mix accepts, sorted.
+func MixNames() []string {
+	names := make([]string, 0, len(mixes))
+	for name := range mixes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

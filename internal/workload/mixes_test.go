@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/soc"
+)
+
+func TestMixesValidateAndBuild(t *testing.T) {
+	for _, name := range MixNames() {
+		sp, ok := Mix(name, 7)
+		if !ok {
+			t.Fatalf("Mix(%q) not found though listed", name)
+		}
+		if sp.Name != name || sp.Seed != 7 {
+			t.Fatalf("Mix(%q) did not stamp name/seed: %+v", name, sp)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Errorf("mix %q invalid: %v", name, err)
+		}
+		s := soc.New(soc.TC1797(), sp.Seed)
+		if _, err := Build(s, sp); err != nil {
+			t.Errorf("mix %q does not build: %v", name, err)
+		}
+	}
+}
+
+func TestMixUnknown(t *testing.T) {
+	if _, ok := Mix("no-such-mix", 1); ok {
+		t.Fatal("unknown mix reported ok")
+	}
+	if !sort.StringsAreSorted(MixNames()) {
+		t.Fatal("MixNames not sorted")
+	}
+}
