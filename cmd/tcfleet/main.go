@@ -10,12 +10,18 @@
 //	tcfleet aggregate [-json] [-out fleet.json] report-dir|report.json ...
 //	tcfleet run [-spec campaign.json] [-socs a,b] [-mixes a,b] [-faults a,b]
 //	            [-res n,m] [-seeds N] [-seed N] [-cycles N] [-framed] [-degrade]
-//	            [-workers N] [-json] [-out fleet.json] [-outdir reports/]
+//	            [-workers N] [-celltimeout D] [-retries N] [-journal dir]
+//	            [-json] [-out fleet.json] [-outdir reports/]
 //	            [-trace spans.json] [-metrics :addr]
+//	tcfleet run -resume dir [-workers N] [-celltimeout D] [-retries N] [flags]
 //
 // The bare form "tcfleet report-dir ..." is a deprecated alias for
 // "tcfleet aggregate". Interrupting a campaign (Ctrl-C) stops the
-// in-flight sessions and flushes the partial aggregate.
+// in-flight sessions and flushes the partial aggregate; with -journal,
+// the interrupted campaign is resumable: "tcfleet run -resume dir"
+// reloads the matrix from the journal manifest, skips every
+// journaled-complete cell, re-runs failed and missing ones, and
+// produces an aggregate byte-identical to an uninterrupted run.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/obs"
 	"repro/internal/profiling"
+	"repro/internal/runcfg"
 	"repro/internal/workload"
 )
 
@@ -85,7 +92,9 @@ func runAggregate(args []string) error {
 	acc := profiling.NewAccumulator()
 	skipped := 0
 	for _, p := range paths {
-		r, err := profiling.LoadRunReport(p)
+		// Checked load: a truncated, malformed, or checksum-inconsistent
+		// report is skipped with a warning, never aborts the aggregation.
+		r, err := profiling.LoadRunReportChecked(p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcfleet: skipping %v\n", err)
 			skipped++
@@ -146,6 +155,9 @@ func runCampaign(args []string) error {
 	framed := fs.Bool("framed", false, "harden the trace path on every cell")
 	degrade := fs.Bool("degrade", false, "enable graceful degradation on every cell")
 	workers := fs.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+	sup := runcfg.BindSupervise(fs)
+	journalDir := fs.String("journal", "", "write-ahead journal directory (makes the campaign resumable after a crash or Ctrl-C)")
+	resumeDir := fs.String("resume", "", "resume an interrupted journaled campaign from this directory (matrix comes from the journal)")
 	jsonOut := fs.Bool("json", false, "print the fleet profile as JSON instead of tables")
 	outPath := fs.String("out", "", "write the fleet profile JSON to this file")
 	outDir := fs.String("outdir", "", "write each cell's run report into this directory as it completes")
@@ -158,6 +170,10 @@ func runCampaign(args []string) error {
 		return fmt.Errorf("unexpected arguments %q (campaign cells come from -spec or dimension flags)", fs.Args())
 	}
 
+	if err := sup.Validate(); err != nil {
+		return err
+	}
+
 	var m campaign.Matrix
 	if *specPath != "" {
 		var err error
@@ -166,7 +182,13 @@ func runCampaign(args []string) error {
 		}
 	}
 	var listErr error
+	var matrixFlags []string
 	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "spec", "name", "socs", "mixes", "faults", "res", "seeds", "seed",
+			"cycles", "framed", "degrade":
+			matrixFlags = append(matrixFlags, "-"+f.Name)
+		}
 		switch f.Name {
 		case "name":
 			m.Name = *name
@@ -198,7 +220,32 @@ func runCampaign(args []string) error {
 		return listErr
 	}
 
-	opt := campaign.Options{Workers: *workers, Obs: obs.New()}
+	opt := campaign.Options{
+		Workers:     *workers,
+		Obs:         obs.New(),
+		CellTimeout: sup.CellTimeout,
+		Retries:     sup.Retries,
+	}
+	switch {
+	case *resumeDir != "":
+		// The journal manifest is the authority on what the campaign was;
+		// re-specifying the matrix alongside -resume could only disagree.
+		if len(matrixFlags) > 0 {
+			return fmt.Errorf("-resume rebuilds the matrix from the journal; drop %s",
+				strings.Join(matrixFlags, " "))
+		}
+		if *journalDir != "" {
+			return fmt.Errorf("-resume and -journal are mutually exclusive (resume continues journaling in place)")
+		}
+		var err error
+		if m, err = campaign.LoadJournalMatrix(*resumeDir); err != nil {
+			return err
+		}
+		opt.JournalDir = *resumeDir
+		opt.Resume = true
+	case *journalDir != "":
+		opt.JournalDir = *journalDir
+	}
 	if *tracePath != "" {
 		opt.Tracer = obs.NewTracer()
 	}
@@ -234,12 +281,25 @@ func runCampaign(args []string) error {
 		return err
 	}
 
+	for _, w := range res2.Warnings {
+		fmt.Fprintf(os.Stderr, "tcfleet: journal: %s\n", w)
+	}
 	for _, ce := range res2.Errors {
 		fmt.Fprintf(os.Stderr, "tcfleet: cell failed: %v\n", ce)
 	}
 	status := ""
+	if res2.Resumed > 0 {
+		status += fmt.Sprintf(" (%d resumed from journal)", res2.Resumed)
+	}
+	if res2.Retried > 0 {
+		status += fmt.Sprintf(" (%d retries)", res2.Retried)
+	}
 	if res2.Canceled {
-		status = " (canceled — partial aggregate)"
+		status = " (canceled — partial aggregate"
+		if opt.JournalDir != "" {
+			status += fmt.Sprintf("; resume with: tcfleet run -resume %s", opt.JournalDir)
+		}
+		status += ")"
 	}
 	fmt.Fprintf(os.Stderr,
 		"tcfleet: %d/%d sessions completed, %d failed, %d workers, %.2fs wall, %.1fM simulated cycles%s\n",
@@ -272,21 +332,11 @@ func emit(fp *profiling.FleetProfile, jsonOut bool, outPath string, table func()
 	return nil
 }
 
-// writeFile creates path and streams write into it, surfacing both write
-// and close errors.
+// writeFile streams write into path atomically (temp file + rename via
+// campaign.WriteFileAtomic): a crash mid-write can no longer leave a
+// truncated report or fleet profile behind.
 func writeFile(path string, write func(w io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	return nil
+	return campaign.WriteFileAtomic(path, write)
 }
 
 // collect expands directory arguments into their *.json files.

@@ -22,6 +22,36 @@ func benchMatrix() Matrix {
 	}
 }
 
+// BenchmarkCampaignJournal measures the supervisor's write-ahead
+// journal overhead on a clean campaign (the BENCH_pr4 comparison):
+// journal=on adds one atomic report write plus one fsync'd manifest
+// append per cell, and must stay within the ≤5% envelope.
+func BenchmarkCampaignJournal(b *testing.B) {
+	m := benchMatrix()
+	for _, journal := range []bool{false, true} {
+		name := "journal=off"
+		if journal {
+			name = "journal=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := Options{Workers: 4}
+				if journal {
+					opt.JournalDir = b.TempDir()
+				}
+				res, err := Run(context.Background(), m, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed != res.Cells {
+					b.Fatalf("completed %d of %d", res.Completed, res.Cells)
+				}
+				b.ReportMetric(float64(res.SimCycles)/res.Wall.Seconds(), "simcycles/s")
+			}
+		})
+	}
+}
+
 // BenchmarkCampaignWorkers measures campaign wall time against worker
 // count (the BENCH_pr3 scaling curve). On a single-CPU host the curve
 // is flat — the workers serialize on GOMAXPROCS — so the speedup

@@ -16,36 +16,59 @@ import (
 )
 
 // Options tunes campaign execution. The zero value runs with GOMAXPROCS
-// workers and no instrumentation.
+// workers, no instrumentation, no supervision limits, and no journal.
 type Options struct {
 	// Workers bounds the worker pool; <=0 means runtime.GOMAXPROCS(0).
 	Workers int
 	// Obs receives campaign throughput metrics (sessions done/failed,
-	// sessions/sec, simulated cycles/sec, per-worker utilization). Nil or
-	// obs.Disabled switches instrumentation off.
+	// sessions/sec, simulated cycles/sec, per-worker utilization) and the
+	// supervisor counters (retries, panics, timeouts, resume skips). Nil
+	// or obs.Disabled switches instrumentation off.
 	Obs *obs.Registry
-	// Tracer records the campaign phases (expand, execute, aggregate) and
-	// one span per session, for about://tracing inspection.
+	// Tracer records the campaign phases (expand, journal, execute,
+	// aggregate) and one span per cell attempt, for about://tracing
+	// inspection.
 	Tracer *obs.Tracer
 	// OnReport, when set, observes every completed run report as it
 	// lands, before aggregation. It is called concurrently from worker
-	// goroutines and must be safe for parallel use.
+	// goroutines and must be safe for parallel use. Reports loaded from a
+	// resumed journal are not re-announced.
 	OnReport func(Cell, *profiling.RunReport)
-}
+	// CellTimeout is the per-attempt watchdog deadline, enforced with
+	// context.WithTimeout so a wedged simulation stops at its next
+	// cancellation poll instead of stranding a worker. 0 disables it.
+	CellTimeout time.Duration
+	// Retries bounds how many times a transiently failed cell is re-run
+	// (a cell executes at most Retries+1 times). Only ClassTransient
+	// failures — watchdog timeouts, errors wrapped by Transient — are
+	// retried; panics and permanent errors fail fast.
+	Retries int
+	// RetryBackoff is the base delay before the first retry, doubled per
+	// attempt and jittered from the cell's forked RNG. 0 means
+	// DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// JournalDir, when set, write-ahead journals the campaign into this
+	// directory: every completed report persisted atomically with a
+	// CRC-32 trailer, plus a campaign.journal manifest of per-cell
+	// status/attempts, so an interrupted campaign can resume.
+	JournalDir string
+	// Resume validates the journal already in JournalDir against the
+	// expanded matrix, skips journaled-complete cells (their reports are
+	// loaded and verified), and re-runs failed and missing ones.
+	Resume bool
 
-// CellError records one failed cell.
-type CellError struct {
-	Cell Cell
-	Err  error
+	// exec overrides cell execution; tests inject panics, hangs, and
+	// transient failures through it. Nil means the real runCell.
+	exec execFn
 }
-
-func (e CellError) Error() string { return fmt.Sprintf("%s: %v", e.Cell.ID, e.Err) }
 
 // Result is the outcome of a campaign run.
 type Result struct {
 	Cells     int           // expanded matrix size
-	Completed int           // sessions that produced a report
-	Failed    int           // sessions that errored (see Errors)
+	Completed int           // sessions in the aggregate (executed + resumed)
+	Failed    int           // sessions that errored terminally (see Errors)
+	Resumed   int           // journaled-complete cells skipped by Resume
+	Retried   int           // total extra attempts across all cells
 	Canceled  bool          // the context fired before all cells ran
 	SimCycles uint64        // total simulated cycles across completed sessions
 	Wall      time.Duration // wall-clock duration of the execute phase
@@ -54,8 +77,12 @@ type Result struct {
 	// sessions — the partial aggregate when the campaign was canceled,
 	// nil when nothing completed.
 	Profile *profiling.FleetProfile
-	// Errors lists failed cells in index order.
+	// Errors lists terminally failed cells in index order, classified and
+	// with their attempt counts.
 	Errors []CellError
+	// Warnings lists non-fatal journal anomalies (corrupt resumed report
+	// re-run, manifest append failure) in the order they were noticed.
+	Warnings []string
 }
 
 // runCell executes one expanded cell end to end: build the SoC twin and
@@ -93,15 +120,19 @@ func runCell(ctx context.Context, cell Cell) (*profiling.RunReport, error) {
 }
 
 // Run expands the matrix and executes every cell across the worker
-// pool, streaming completed reports into the fleet aggregator. It
-// returns an error only for an unusable matrix; per-cell failures are
-// collected in Result.Errors. When ctx is canceled, in-flight sessions
-// stop at the next cancellation poll, pending cells are skipped, and
-// the reports gathered so far are flushed into a partial aggregate.
+// pool under the supervisor, streaming completed reports into the
+// fleet aggregator (and the journal, when enabled). It returns an
+// error only for an unusable matrix or journal; per-cell failures are
+// classified and collected in Result.Errors. When ctx is canceled,
+// in-flight sessions stop at the next cancellation poll, pending cells
+// are skipped, and the reports gathered so far are flushed into a
+// partial aggregate.
 //
 // For a full (uncanceled) campaign the resulting Profile is
-// byte-identical for any worker count: cell seeds are fixed at
-// expansion time and the aggregator canonicalizes its output.
+// byte-identical for any worker count — and across any
+// interrupt/resume split: cell seeds are fixed at expansion time and
+// the aggregator canonicalizes its output, so it cannot matter which
+// cells were loaded from the journal and which were executed.
 func Run(ctx context.Context, m Matrix, opt Options) (*Result, error) {
 	workers := opt.Workers
 	if workers <= 0 {
@@ -115,24 +146,71 @@ func Run(ctx context.Context, m Matrix, opt Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Cells: len(cells), Workers: workers}
-	if workers > len(cells) {
-		workers = len(cells)
-		res.Workers = workers
-	}
 
 	cellsTotal := opt.Obs.Counter("campaign_cells_total")
 	doneCtr := opt.Obs.Counter("campaign_sessions_done")
 	failCtr := opt.Obs.Counter("campaign_sessions_failed")
 	sessRate := opt.Obs.Gauge("campaign_sessions_per_sec")
 	cycleRate := opt.Obs.Gauge("campaign_sim_cycles_per_sec")
+	resumeSkips := opt.Obs.Counter("campaign_resume_skips")
+	met := supMetrics{
+		retries:  opt.Obs.Counter("campaign_retries"),
+		panics:   opt.Obs.Counter("campaign_panics"),
+		timeouts: opt.Obs.Counter("campaign_timeouts"),
+	}
 	cellsTotal.Add(uint64(len(cells)))
+
+	exec := opt.exec
+	if exec == nil {
+		exec = runCell
+	}
 
 	acc := profiling.NewAccumulator()
 	var (
-		mu        sync.Mutex // guards errs, simCycles
+		mu        sync.Mutex // guards errs, warns, simCycles, retried
 		errs      []CellError
+		warns     []string
 		simCycles uint64
+		retried   int
 	)
+
+	// Journal setup: open fresh, or resume — validating the manifest
+	// against this expansion and pre-loading journaled-complete reports
+	// into the aggregate.
+	var jr *Journal
+	pending := cells
+	if opt.JournalDir != "" {
+		jSpan := opt.Tracer.Start("journal", "campaign")
+		hash := matrixHash(cells)
+		if opt.Resume {
+			var resumed map[int]*profiling.RunReport
+			jr, resumed, warns, err = resumeJournal(opt.JournalDir, hash, cells)
+			if err == nil {
+				pending = make([]Cell, 0, len(cells))
+				for _, cell := range cells {
+					if rep, ok := resumed[cell.Index]; ok {
+						acc.Add(cell.ID, rep)
+						resumeSkips.Inc()
+						res.Resumed++
+						simCycles += rep.Cycles
+						continue
+					}
+					pending = append(pending, cell)
+				}
+			}
+		} else {
+			jr, err = openJournal(opt.JournalDir, m, hash, cells)
+		}
+		jSpan.End()
+		if err != nil {
+			return nil, err
+		}
+		defer jr.Close()
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+		res.Workers = workers
+	}
 
 	feed := make(chan Cell)
 	execSpan := opt.Tracer.Start("execute", "campaign")
@@ -146,10 +224,22 @@ func Run(ctx context.Context, m Matrix, opt Options) (*Result, error) {
 			var busy time.Duration
 			for cell := range feed {
 				cellStart := time.Now()
-				sp := opt.Tracer.Start("cell:"+cell.ID, "session")
-				report, err := runCell(ctx, cell)
-				sp.End()
+				report, attempts, err := supervise(ctx, cell, opt, exec, met, opt.Tracer)
 				busy += time.Since(cellStart)
+				if attempts > 1 {
+					mu.Lock()
+					retried += attempts - 1
+					mu.Unlock()
+				}
+				if err == nil && jr != nil {
+					if jerr := jr.recordDone(cell, attempts, report); jerr != nil {
+						// A report we cannot persist is a failed cell:
+						// counting it complete would let a resume silently
+						// drop it from the fleet.
+						err = fmt.Errorf("journal: %w", jerr)
+						report = nil
+					}
+				}
 				switch {
 				case err == nil:
 					if opt.OnReport != nil {
@@ -159,21 +249,27 @@ func Run(ctx context.Context, m Matrix, opt Options) (*Result, error) {
 					doneCtr.Inc()
 					mu.Lock()
 					simCycles += report.Cycles
+					cy := simCycles
 					mu.Unlock()
-					elapsed := time.Since(start).Seconds()
-					if elapsed > 0 {
-						mu.Lock()
-						cy := simCycles
-						mu.Unlock()
+					if elapsed := time.Since(start).Seconds(); elapsed > 0 {
 						sessRate.Set(float64(acc.Len()) / elapsed)
 						cycleRate.Set(float64(cy) / elapsed)
 					}
-				case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-					// Canceled mid-cell: neither completed nor failed.
+				case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+					// Canceled mid-cell by the campaign: neither completed
+					// nor failed; a journaled resume re-runs it.
 				default:
 					failCtr.Inc()
+					ce := newCellError(cell, err, attempts)
+					if jr != nil {
+						if jerr := jr.recordFailed(ce); jerr != nil {
+							mu.Lock()
+							warns = append(warns, fmt.Sprintf("cell %s: failure not journaled: %v", cell.ID, jerr))
+							mu.Unlock()
+						}
+					}
 					mu.Lock()
-					errs = append(errs, CellError{Cell: cell, Err: err})
+					errs = append(errs, ce)
 					mu.Unlock()
 				}
 			}
@@ -184,10 +280,11 @@ func Run(ctx context.Context, m Matrix, opt Options) (*Result, error) {
 		}(w)
 	}
 
-	// Feed cells in index order; stop feeding as soon as ctx fires (the
-	// workers themselves stop their in-flight session at the next poll).
+	// Feed pending cells in index order; stop feeding as soon as ctx
+	// fires (the workers themselves stop their in-flight session at the
+	// next poll).
 feedLoop:
-	for _, cell := range cells {
+	for _, cell := range pending {
 		select {
 		case feed <- cell:
 		case <-ctx.Done():
@@ -202,8 +299,10 @@ feedLoop:
 	res.Canceled = ctx.Err() != nil
 	res.Completed = acc.Len()
 	res.Failed = len(errs)
+	res.Retried = retried
 	sort.Slice(errs, func(i, j int) bool { return errs[i].Cell.Index < errs[j].Cell.Index })
 	res.Errors = errs
+	res.Warnings = warns
 	res.SimCycles = simCycles
 
 	if res.Completed > 0 {

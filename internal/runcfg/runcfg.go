@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/dap"
 	"repro/internal/fault"
@@ -119,6 +120,41 @@ func Bind(fs *flag.FlagSet, def Run) *Run {
 	fs.BoolVar(&r.Framed, "framed", def.Framed, "harden the trace path: CRC/seq frames + reliable DAP (implied by -faults)")
 	fs.BoolVar(&r.Degrade, "degrade", def.Degrade, "enable graceful degradation (widen resolution under buffer pressure)")
 	return r
+}
+
+// Supervise is the shared knob set of the campaign supervisor — the
+// per-cell watchdog deadline and the transient-failure retry budget —
+// so every CLI that drives supervised runs exposes the same flags with
+// the same semantics.
+type Supervise struct {
+	// CellTimeout is the per-cell watchdog deadline; 0 disables it.
+	CellTimeout time.Duration
+	// Retries is the maximum number of re-executions of a cell after a
+	// transient failure (a cell runs at most Retries+1 times).
+	Retries int
+}
+
+// Validate checks the supervisor configuration.
+func (s Supervise) Validate() error {
+	if s.CellTimeout < 0 {
+		return fmt.Errorf("runcfg: negative cell timeout %v", s.CellTimeout)
+	}
+	if s.Retries < 0 {
+		return fmt.Errorf("runcfg: negative retry budget %d", s.Retries)
+	}
+	return nil
+}
+
+// BindSupervise registers the supervisor flag subset (-celltimeout,
+// -retries) on fs and returns the destination. Call fs.Parse, then
+// Validate.
+func BindSupervise(fs *flag.FlagSet) *Supervise {
+	s := &Supervise{}
+	fs.DurationVar(&s.CellTimeout, "celltimeout", 0,
+		"per-cell watchdog deadline (e.g. 30s; 0 disables)")
+	fs.IntVar(&s.Retries, "retries", 0,
+		"max retries per cell for transient failures (watchdog timeouts, marked-transient errors)")
+	return s
 }
 
 // BindBase registers only the simulation-level subset (-soc, -seed,

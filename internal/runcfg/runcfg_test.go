@@ -4,6 +4,7 @@ import (
 	"flag"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestValidate(t *testing.T) {
@@ -116,5 +117,24 @@ func TestBindBaseKeepsNonFlagFields(t *testing.T) {
 	}
 	if err := r.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBindSupervise(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	s := BindSupervise(fs)
+	if err := fs.Parse([]string{"-celltimeout", "30s", "-retries", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.CellTimeout != 30*time.Second || s.Retries != 3 {
+		t.Fatalf("parsed supervise = %+v", *s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Supervise{{CellTimeout: -time.Second}, {Retries: -1}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Supervise %+v validated", bad)
+		}
 	}
 }
