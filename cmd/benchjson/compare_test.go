@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, results []Result) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	b, err := json.Marshal(&Report{Schema: 1, Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareClean(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", []Result{
+		{Name: "BenchmarkA", NsOp: 100},
+		{Name: "BenchmarkSoC", NsOp: 50, Extra: map[string]float64{cyclesMetric: 2e6}},
+	})
+	now := writeReport(t, dir, "new.json", []Result{
+		{Name: "BenchmarkA", NsOp: 102}, // +2%: inside 5% tolerance
+		{Name: "BenchmarkSoC", NsOp: 40, Extra: map[string]float64{cyclesMetric: 2.5e6}},
+		{Name: "BenchmarkNew", NsOp: 7}, // added benchmarks never fail the gate
+	})
+	var sb strings.Builder
+	if err := runCompare(old, now, 0.05, &sb); err != nil {
+		t.Fatalf("clean compare failed: %v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"BenchmarkA", "BenchmarkSoC", "new", "no regressions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareNsOpRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", []Result{{Name: "BenchmarkA", NsOp: 100}})
+	now := writeReport(t, dir, "new.json", []Result{{Name: "BenchmarkA", NsOp: 120}})
+	var sb strings.Builder
+	err := runCompare(old, now, 0.05, &sb)
+	if err == nil {
+		t.Fatalf("+20%% ns/op passed the 5%% gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("table does not flag the regression:\n%s", sb.String())
+	}
+	// A wider tolerance lets the same delta through.
+	sb.Reset()
+	if err := runCompare(old, now, 0.25, &sb); err != nil {
+		t.Fatalf("+20%% ns/op failed the 25%% gate: %v", err)
+	}
+}
+
+func TestCompareThroughputRegression(t *testing.T) {
+	// ns/op improves but the simcycles/s throughput metric collapses —
+	// the gate must still fire (throughput is the paper-level number).
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", []Result{
+		{Name: "BenchmarkSoC", NsOp: 100, Extra: map[string]float64{cyclesMetric: 2e6}},
+	})
+	now := writeReport(t, dir, "new.json", []Result{
+		{Name: "BenchmarkSoC", NsOp: 90, Extra: map[string]float64{cyclesMetric: 1e6}},
+	})
+	var sb strings.Builder
+	if err := runCompare(old, now, 0.05, &sb); err == nil {
+		t.Fatalf("-50%% %s passed the gate:\n%s", cyclesMetric, sb.String())
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", []Result{
+		{Name: "BenchmarkA", NsOp: 100},
+		{Name: "BenchmarkGone", NsOp: 100},
+	})
+	now := writeReport(t, dir, "new.json", []Result{{Name: "BenchmarkA", NsOp: 100}})
+	var sb strings.Builder
+	err := runCompare(old, now, 0.05, &sb)
+	if err == nil {
+		t.Fatalf("dropped benchmark passed the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "MISSING") {
+		t.Errorf("table does not mark the dropped benchmark:\n%s", sb.String())
+	}
+}
+
+func TestParseThenCompareRoundTrip(t *testing.T) {
+	// End-to-end: bench text -> parseBench -> Report JSON -> compare.
+	lines := []string{
+		"BenchmarkSoCHotLoop-8   120  9500 ns/op  2100000 simcycles/s",
+		"BenchmarkEncode-8   100000  85.0 ns/op  0 B/op  0 allocs/op",
+	}
+	var results []Result
+	for _, l := range lines {
+		r, ok := parseBench(l)
+		if !ok {
+			t.Fatalf("parseBench rejected %q", l)
+		}
+		results = append(results, r)
+	}
+	if results[0].Extra[cyclesMetric] != 2.1e6 {
+		t.Fatalf("custom metric not captured: %+v", results[0])
+	}
+	dir := t.TempDir()
+	path := writeReport(t, dir, "r.json", results)
+	var sb strings.Builder
+	if err := runCompare(path, path, 0.0, &sb); err != nil {
+		t.Fatalf("self-compare at zero tolerance failed: %v\n%s", err, sb.String())
+	}
+}

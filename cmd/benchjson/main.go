@@ -1,10 +1,18 @@
 // Command benchjson converts `go test -bench` text output (read from
 // stdin) into a JSON benchmark report, so CI can archive benchmark runs
-// as machine-readable artifacts and later runs can be diffed.
+// as machine-readable artifacts and later runs can be diffed — and, with
+// -compare, diffs two such reports and gates on regressions.
 //
 // Usage:
 //
 //	go test -bench=. -benchtime=1x ./... | benchjson -o BENCH.json
+//	benchjson -compare [-tol 0.05] old.json new.json
+//
+// Compare mode matches benchmarks by name, reports the ns/op delta and
+// the delta of the simcycles/s throughput metric when present, and exits
+// non-zero when any benchmark regressed beyond the tolerance (slower than
+// (1+tol)× the old ns/op, or below (1-tol)× the old simcycles/s) or when
+// a baseline benchmark is missing from the new report.
 package main
 
 import (
@@ -12,10 +20,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Result is one parsed benchmark line.
@@ -51,7 +61,16 @@ func main() {
 
 func run() error {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two reports: benchjson -compare old.json new.json")
+	tol := flag.Float64("tol", 0.05, "fractional regression tolerance for -compare (0.05 = 5%)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two arguments: old.json new.json")
+		}
+		return runCompare(flag.Arg(0), flag.Arg(1), *tol, os.Stdout)
+	}
 
 	rep := Report{Schema: 1, CPUs: runtime.NumCPU()}
 	pkg := ""
@@ -100,6 +119,107 @@ func run() error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(&rep)
+}
+
+// cyclesMetric is the custom throughput metric the SoC benchmarks report
+// (higher is better, unlike ns/op).
+const cyclesMetric = "simcycles/s"
+
+// loadReport reads one benchjson artifact from disk.
+func loadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	return &rep, nil
+}
+
+// runCompare diffs the new report against the old baseline and returns an
+// error (→ non-zero exit) when any benchmark regressed beyond tol or a
+// baseline benchmark disappeared. Benchmarks only present in the new
+// report are listed but never fail the gate: adding a benchmark must not
+// break CI.
+func runCompare(oldPath, newPath string, tol float64, w io.Writer) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+
+	// Index the new report by name. Names are unique per report in
+	// practice (one line per benchmark); when a report does carry
+	// duplicates, the last one wins, matching `go test` append order.
+	newBy := make(map[string]Result, len(newRep.Results))
+	for _, r := range newRep.Results {
+		newBy[r.Name] = r
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\told ns/op\tnew ns/op\tdelta\t%s\tverdict\n", cyclesMetric)
+	var regressions []string
+	for _, o := range oldRep.Results {
+		n, ok := newBy[o.Name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t%.0f\t-\t-\t-\tMISSING\n", o.Name, o.NsOp)
+			regressions = append(regressions, o.Name+" missing from "+newPath)
+			continue
+		}
+		delete(newBy, o.Name)
+
+		nsDelta := n.NsOp/o.NsOp - 1
+		verdict := "ok"
+		if nsDelta > tol {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns/op %+.1f%% (%.0f -> %.0f, tol %.0f%%)",
+					o.Name, 100*nsDelta, o.NsOp, n.NsOp, 100*tol))
+		}
+
+		// Throughput metric: compare only when both reports carry it.
+		cyc := "-"
+		if ov, ook := o.Extra[cyclesMetric]; ook && ov > 0 {
+			if nv, nok := n.Extra[cyclesMetric]; nok {
+				cd := nv/ov - 1
+				cyc = fmt.Sprintf("%+.1f%%", 100*cd)
+				if cd < -tol {
+					verdict = "REGRESSION"
+					regressions = append(regressions,
+						fmt.Sprintf("%s: %s %+.1f%% (%.0f -> %.0f, tol %.0f%%)",
+							o.Name, cyclesMetric, 100*cd, ov, nv, 100*tol))
+				}
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\t%s\n",
+			o.Name, o.NsOp, n.NsOp, 100*nsDelta, cyc, verdict)
+	}
+	// Benchmarks that exist only in the new report (newly added): note them.
+	for _, r := range newRep.Results {
+		if _, ok := newBy[r.Name]; ok {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\t-\t-\tnew\n", r.Name, r.NsOp)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+		}
+		return fmt.Errorf("%d regression(s) beyond %.0f%% tolerance", len(regressions), 100*tol)
+	}
+	fmt.Fprintf(w, "no regressions beyond %.0f%% tolerance\n", 100*tol)
+	return nil
 }
 
 // parseBench parses one "BenchmarkName-8  123  45.6 ns/op [...]" line.

@@ -13,6 +13,7 @@
 //	            [-workers N] [-celltimeout D] [-retries N] [-journal dir]
 //	            [-json] [-out fleet.json] [-outdir reports/]
 //	            [-trace spans.json] [-metrics :addr]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	tcfleet run -resume dir [-workers N] [-celltimeout D] [-retries N] [flags]
 //
 // The bare form "tcfleet report-dir ..." is a deprecated alias for
@@ -163,6 +164,7 @@ func runCampaign(args []string) error {
 	outDir := fs.String("outdir", "", "write each cell's run report into this directory as it completes")
 	tracePath := fs.String("trace", "", "write the campaign phases as a Chrome trace")
 	metricsAddr := fs.String("metrics", "", "serve live campaign metrics at http://ADDR/metrics for the duration of the run")
+	hostProf := runcfg.BindProf(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -173,6 +175,15 @@ func runCampaign(args []string) error {
 	if err := sup.Validate(); err != nil {
 		return err
 	}
+	stopProf, err := hostProf.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "tcfleet:", err)
+		}
+	}()
 
 	var m campaign.Matrix
 	if *specPath != "" {

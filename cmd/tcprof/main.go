@@ -10,6 +10,7 @@
 //	       [-mix engine|lean|...] [-csv timeline.csv] [-rawtrace trace.bin]
 //	       [-flow] [-faults scenario|k=v,...] [-framed] [-degrade]
 //	       [-json report.json] [-trace spans.json] [-metrics :addr]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Interrupting a run (Ctrl-C) cancels the measurement but still drains the
 // session: the partial profile of the cycles that did run is reported.
@@ -63,11 +64,21 @@ func run() error {
 	jsonPath := flag.String("json", "", "write the versioned machine-readable run report (aggregate with tcfleet)")
 	tracePath := flag.String("trace", "", "write the pipeline phases as a Chrome trace (load in about://tracing)")
 	metricsAddr := flag.String("metrics", "", "serve live pipeline metrics at http://ADDR/metrics for the duration of the run")
+	hostProf := runcfg.BindProf(flag.CommandLine)
 	flag.Parse()
 
 	if err := rc.Validate(); err != nil {
 		return err
 	}
+	stopProf, err := hostProf.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "tcprof:", err)
+		}
+	}()
 	cfg, err := rc.SoCConfig()
 	if err != nil {
 		return err

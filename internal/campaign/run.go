@@ -89,6 +89,13 @@ type Result struct {
 // workload, run the measurement under ctx, drain and assemble the
 // profile, and emit the machine-readable run report.
 func runCell(ctx context.Context, cell Cell) (*profiling.RunReport, error) {
+	return runCellWith(ctx, cell, nil)
+}
+
+// runCellWith is runCell with a hook applied to the freshly built SoC
+// before the session runs; the wake-scheduler determinism test uses it to
+// force the reference (unscheduled) kernel mode per cell.
+func runCellWith(ctx context.Context, cell Cell, tune func(*soc.SoC)) (*profiling.RunReport, error) {
 	cfg, err := cell.Run.SoCConfig()
 	if err != nil {
 		return nil, err
@@ -99,6 +106,9 @@ func runCell(ctx context.Context, cell Cell) (*profiling.RunReport, error) {
 		return nil, fmt.Errorf("unknown workload mix %q", cell.Mix)
 	}
 	s := soc.New(cfg, cell.Run.Seed)
+	if tune != nil {
+		tune(s)
+	}
 	app, err := workload.Build(s, spec)
 	if err != nil {
 		return nil, err

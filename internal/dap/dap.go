@@ -103,6 +103,7 @@ type DAP struct {
 
 	credit       uint64 // fixed-point byte credit, scaled by CPUFreq in Hz
 	TotalDrained uint64
+	drainBuf     []byte // per-tick drain scratch, reused every cycle
 
 	// Reliable-mode state.
 	staging  []byte // drained bytes not yet assembled into frames
@@ -197,14 +198,16 @@ func (d *DAP) Tick(cycle uint64) {
 		if n == 0 {
 			return
 		}
-		b := d.Emem.Drain(uint32(n))
+		b := d.Emem.DrainInto(d.drainBuf[:0], uint32(n))
+		d.drainBuf = b
 		d.Received = append(d.Received, b...)
 		d.TotalDrained += uint64(len(b))
 		d.obs.drained.Add(uint64(len(b)))
 		return
 	}
 	if n > 0 {
-		b := d.Emem.Drain(uint32(n))
+		b := d.Emem.DrainInto(d.drainBuf[:0], uint32(n))
+		d.drainBuf = b
 		d.staging = append(d.staging, b...)
 		d.TotalDrained += uint64(len(b))
 		d.obs.drained.Add(uint64(len(b)))

@@ -138,10 +138,19 @@ func (e *EMEM) AppendTrace(msg []byte) bool {
 // Drain removes up to n bytes from the ring (the DAP read path) and
 // returns them.
 func (e *EMEM) Drain(n uint32) []byte {
+	return e.DrainInto(nil, n)
+}
+
+// DrainInto removes up to n bytes from the ring and appends them to dst,
+// returning the extended slice. With a reused scratch buffer this is the
+// allocation-free variant the per-cycle DAP drain runs on.
+func (e *EMEM) DrainInto(dst []byte, n uint32) []byte {
 	if n > e.level {
 		n = e.level
 	}
-	out := make([]byte, n)
+	start := len(dst)
+	dst = append(dst, make([]byte, n)...)
+	out := dst[start:]
 	first := e.traceSize - e.tail
 	if first > n {
 		first = n
@@ -155,7 +164,7 @@ func (e *EMEM) Drain(n uint32) []byte {
 	e.BytesDrained += uint64(n)
 	e.obs.drained.Add(uint64(n))
 	e.obs.level.Set(float64(e.level))
-	return out
+	return dst
 }
 
 // CorruptBit flips one bit of the i-th currently buffered byte (counted

@@ -1,0 +1,44 @@
+package mcds
+
+import (
+	"testing"
+
+	"repro/internal/emem"
+	"repro/internal/tmsg"
+)
+
+// TestEmitZeroAlloc gates the MCDS message hot path: encoding into the
+// reused scratch buffer and appending to the EMEM trace ring (raw mode) or
+// the framer (hardened mode) must not allocate. One object per emitted
+// message would dominate the GC at millions of messages per run.
+func TestEmitZeroAlloc(t *testing.T) {
+	for _, framed := range []bool{false, true} {
+		name := "raw"
+		if framed {
+			name = "framed"
+		}
+		t.Run(name, func(t *testing.T) {
+			ring := emem.New(1<<20, 0, 0)
+			m := New("mcds", ring)
+			if framed {
+				m.EnableFraming()
+			}
+			msg := tmsg.Msg{Kind: tmsg.KindRate, Src: 1, CounterID: 2, Basis: 1000}
+			emitOne := func() {
+				msg.Cycle += 1000
+				msg.Count = (msg.Count + 7) % 90
+				m.emit(&msg)
+			}
+			for i := 0; i < 100; i++ {
+				emitOne() // warm the scratch and framer buffers
+			}
+			allocs := testing.AllocsPerRun(5000, emitOne)
+			if allocs != 0 {
+				t.Errorf("emit allocates %.1f objects/op, want 0", allocs)
+			}
+			if m.MsgsLost != 0 {
+				t.Errorf("ring overflowed during the gate (%d lost); enlarge it", m.MsgsLost)
+			}
+		})
+	}
+}

@@ -73,6 +73,32 @@ func (f *FlexRayNode) Slot(cycle uint64) int {
 	return int(pos * uint64(f.NumSlots) / f.CycleLen)
 }
 
+// NextWake implements sim.Sleeper: the next slot-boundary cycle. Tick is a
+// no-op inside a slot (slot == lastSlot), so only boundary cycles matter;
+// lastSlot — and with it the RegStatus readback — advances on exactly the
+// same cycles as when every cycle is dispatched.
+func (f *FlexRayNode) NextWake(from uint64) uint64 {
+	if !f.Enabled {
+		return sim.NoWake
+	}
+	pos := from % f.CycleLen
+	slot := int(pos * uint64(f.NumSlots) / f.CycleLen)
+	if slot != f.lastSlot {
+		return from
+	}
+	// First cycle of slot+1: ceil((slot+1)*CycleLen/NumSlots), wrapping to
+	// the next communication cycle after the last slot.
+	if slot == f.NumSlots-1 {
+		return from - pos + f.CycleLen
+	}
+	n := uint64(slot+1) * f.CycleLen
+	next := n / uint64(f.NumSlots)
+	if n%uint64(f.NumSlots) != 0 {
+		next++
+	}
+	return from - pos + next
+}
+
 // Tick implements sim.Ticker: deliver/transmit on slot boundaries.
 func (f *FlexRayNode) Tick(cycle uint64) {
 	if !f.Enabled {

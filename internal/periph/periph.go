@@ -24,7 +24,31 @@ const (
 	RegSize   = 0x20 // register window size per peripheral
 )
 
+// nextOnGrid returns the earliest cycle >= from on the periodic grid the
+// tickers fire on: cycles where (c+period-offset)%period == 0, evaluated in
+// uint64 arithmetic exactly as Tick evaluates it. When offset >= period
+// (possible after a RegPeriod write shrinks the period below a previously
+// clamped offset) that expression wraps below zero for c < offset-period,
+// so the grid has two regimes; the boundary cycle offset-period always
+// fires and must not be skipped over.
+func nextOnGrid(from, period, offset uint64) uint64 {
+	next := from + (period-(from+period-offset)%period)%period
+	if offset >= period {
+		if b := offset - period; b >= from && b < next {
+			next = b
+		}
+	}
+	return next
+}
+
 // Timer raises its SRN every Period cycles while enabled.
+//
+// The timer is a sim.Sleeper: between expiries its Tick is never called,
+// so the free-running count register is kept lazily — count holds the
+// enabled cycles accounted through cycle doneC-1 and the remainder is
+// reconstructed from the clock on demand. The arithmetic assumes Tick
+// cycles are non-decreasing (true under a clock, and for every direct-Tick
+// test that steps from the cycle the timer last saw).
 type Timer struct {
 	Label   string
 	Base    uint32
@@ -34,7 +58,9 @@ type Timer struct {
 
 	router *irq.Router
 	srn    *irq.SRN
-	count  uint64
+	waker  *sim.Waker
+	count  uint64 // enabled cycles accounted through doneC-1
+	doneC  uint64 // first cycle not yet accounted into count
 
 	Expiries uint64
 }
@@ -51,16 +77,43 @@ func NewTimer(name string, base uint32, period, offset uint64, router *irq.Route
 // Name implements bus.Target.
 func (t *Timer) Name() string { return t.Label }
 
+// BindWake implements sim.WakeBinder: register writes reschedule the
+// timer, so it needs its clock handle.
+func (t *Timer) BindWake(w *sim.Waker) { t.waker = w }
+
+// NextWake implements sim.Sleeper: the next expiry on the period grid.
+func (t *Timer) NextWake(from uint64) uint64 {
+	if !t.Enabled {
+		return sim.NoWake
+	}
+	return nextOnGrid(from, t.Period, t.Offset)
+}
+
 // Tick implements sim.Ticker.
 func (t *Timer) Tick(cycle uint64) {
 	if !t.Enabled {
 		return
 	}
-	t.count++
+	t.count += cycle + 1 - t.doneC
+	t.doneC = cycle + 1
 	if (cycle+t.Period-t.Offset)%t.Period == 0 {
 		t.Expiries++
 		t.router.Request(t.srn)
 	}
+}
+
+// syncCount folds the cycles the (possibly sleeping) timer has not been
+// ticked for into count, up to but excluding the clock's current cycle —
+// the current cycle's own tick, if any, still runs after the bus masters.
+func (t *Timer) syncCount() {
+	cur := t.waker.Cycle()
+	if cur <= t.doneC {
+		return
+	}
+	if t.Enabled {
+		t.count += cur - t.doneC
+	}
+	t.doneC = cur
 }
 
 // Access implements bus.Target (control/status registers).
@@ -69,7 +122,9 @@ func (t *Timer) Access(_ uint64, req *bus.Request) uint64 {
 	switch off {
 	case RegCtrl:
 		if req.Write {
+			t.syncCount()
 			t.Enabled = req.Data[0]&1 != 0
+			t.waker.Reschedule(t.NextWake(t.waker.Cycle()))
 		} else {
 			put32(req.Data, b2u(t.Enabled))
 		}
@@ -77,12 +132,14 @@ func (t *Timer) Access(_ uint64, req *bus.Request) uint64 {
 		if req.Write {
 			if v := get32(req.Data); v > 0 {
 				t.Period = uint64(v)
+				t.waker.Reschedule(t.NextWake(t.waker.Cycle()))
 			}
 		} else {
 			put32(req.Data, uint32(t.Period))
 		}
 	case RegCount:
 		if !req.Write {
+			t.syncCount()
 			put32(req.Data, uint32(t.count))
 		}
 	default:
@@ -155,6 +212,7 @@ type ADC struct {
 	signal *Signal
 	router *irq.Router
 	srn    *irq.SRN
+	waker  *sim.Waker
 
 	result uint32
 	done   bool
@@ -173,6 +231,19 @@ func NewADC(name string, base uint32, period, offset uint64, signal *Signal, rou
 
 // Name implements bus.Target.
 func (a *ADC) Name() string { return a.Label }
+
+// BindWake implements sim.WakeBinder.
+func (a *ADC) BindWake(w *sim.Waker) { a.waker = w }
+
+// NextWake implements sim.Sleeper: the next conversion on the period grid.
+// The signal's RNG only advances on conversion cycles, so sleeping between
+// them draws the exact same jitter sequence as ticking every cycle.
+func (a *ADC) NextWake(from uint64) uint64 {
+	if !a.Enabled {
+		return sim.NoWake
+	}
+	return nextOnGrid(from, a.Period, a.Offset)
+}
 
 // Tick implements sim.Ticker.
 func (a *ADC) Tick(cycle uint64) {
@@ -194,6 +265,7 @@ func (a *ADC) Access(_ uint64, req *bus.Request) uint64 {
 	case RegCtrl:
 		if req.Write {
 			a.Enabled = req.Data[0]&1 != 0
+			a.waker.Reschedule(a.NextWake(a.waker.Cycle()))
 		} else {
 			put32(req.Data, b2u(a.Enabled))
 		}
@@ -256,6 +328,19 @@ func NewCANNode(name string, base uint32, meanGap uint64, depth int, rng *sim.RN
 
 // Name implements bus.Target.
 func (c *CANNode) Name() string { return c.Label }
+
+// NextWake implements sim.Sleeper: the pre-drawn arrival cycle. The RNG
+// advances only when an arrival is processed, so the schedule is identical
+// whether or not the idle cycles in between are dispatched.
+func (c *CANNode) NextWake(from uint64) uint64 {
+	if !c.Enabled {
+		return sim.NoWake
+	}
+	if c.nextArr < from {
+		return from
+	}
+	return c.nextArr
+}
 
 func (c *CANNode) scheduleNext(now uint64) {
 	// Uniform gap in [MeanGap/2, 3*MeanGap/2]: bounded jitter, mean MeanGap.

@@ -1,0 +1,63 @@
+package runcfg
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfNoop(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p := BindProf(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatalf("empty Prof failed to start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("empty Prof failed to stop: %v", err)
+	}
+}
+
+func TestProfWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p := BindProf(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the profiles are not degenerate.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i % 7
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestProfBadPath(t *testing.T) {
+	p := &Prof{CPUProfile: filepath.Join(t.TempDir(), "no-such-dir", "cpu.pprof")}
+	if _, err := p.Start(); err == nil {
+		t.Fatal("unwritable cpuprofile path did not error")
+	}
+}

@@ -10,6 +10,9 @@ package runcfg
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -155,6 +158,70 @@ func BindSupervise(fs *flag.FlagSet) *Supervise {
 	fs.IntVar(&s.Retries, "retries", 0,
 		"max retries per cell for transient failures (watchdog timeouts, marked-transient errors)")
 	return s
+}
+
+// Prof is the shared host-profiling knob set: pprof capture of the
+// simulator process itself (not the simulated SoC). Every CLI that can
+// burn minutes of host CPU exposes the same two flags with the same
+// semantics, so `tcprof -cpuprofile` and `tcfleet run -cpuprofile`
+// produce interchangeable artifacts for `go tool pprof`.
+type Prof struct {
+	CPUProfile string
+	MemProfile string
+}
+
+// BindProf registers the host-profiling flag subset (-cpuprofile,
+// -memprofile) on fs and returns the destination. Call fs.Parse, then
+// Start.
+func BindProf(fs *flag.FlagSet) *Prof {
+	p := &Prof{}
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "",
+		"write a pprof CPU profile of the simulator process to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "",
+		"write a pprof heap profile of the simulator process to this file at exit")
+	return p
+}
+
+// Start begins CPU profiling (when configured) and returns a stop
+// function that ends it and writes the heap profile (when configured).
+// The stop function is safe to call exactly once; defer it right after a
+// successful Start. With both paths empty Start is a no-op returning a
+// no-op stop.
+func (p *Prof) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if p.CPUProfile != "" {
+		cpuFile, err = os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("runcfg: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if p.MemProfile != "" {
+			f, err := os.Create(p.MemProfile)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // fold transient garbage so the profile shows live heap
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("runcfg: write heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 // BindBase registers only the simulation-level subset (-soc, -seed,

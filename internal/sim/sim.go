@@ -30,30 +30,144 @@ type TickerFunc func(cycle uint64)
 // Tick calls f(cycle).
 func (f TickerFunc) Tick(cycle uint64) { f(cycle) }
 
+// NoWake is the NextWake return value of a Sleeper that has no scheduled
+// work at all (e.g. a disabled peripheral): it is never ticked until
+// something reschedules it.
+const NoWake = ^uint64(0)
+
+// Sleeper is an optional extension of Ticker for components that know the
+// next cycle on which they have work. The clock skips a Sleeper entirely
+// between wakes instead of dispatching no-op Ticks into it.
+//
+// Contract: NextWake(from) returns the earliest cycle >= from on which the
+// component needs its Tick called (NoWake for "never"). The clock calls it
+// after every delivered Tick with from = cycle+1. Waking a component early
+// must be harmless — a Tick on a cycle with no work must be a behavioural
+// no-op — because external reschedules (see Waker) may be conservative.
+// A component whose per-cycle Tick has side effects beyond its own lazily
+// reconstructible state (RNG draws, credit accrual, watermark sampling)
+// must NOT implement Sleeper.
+type Sleeper interface {
+	Ticker
+	NextWake(from uint64) uint64
+}
+
+// WakeBinder is implemented by Sleepers whose wake cycle can change from
+// the outside mid-sleep (e.g. a bus write re-enabling a timer). Attach
+// hands such a component its Waker handle.
+type WakeBinder interface {
+	BindWake(w *Waker)
+}
+
+// Waker is a component's handle back into the clock's wake schedule. The
+// zero of *Waker is usable: all methods are nil-receiver safe, so a
+// peripheral driven directly by tests (no clock) works unchanged.
+type Waker struct {
+	c *Clock
+	i int
+}
+
+// Cycle returns the clock's current (in-progress) cycle, or 0 when the
+// component is not attached to a clock.
+func (w *Waker) Cycle() uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.c.cycle
+}
+
+// Reschedule moves the component's next wake to next (NoWake parks it).
+// It is a no-op when unattached or when wake scheduling is disabled.
+// Rescheduling earlier than necessary is always safe; rescheduling *later*
+// than the component's true next event would skip work and is the caller's
+// responsibility to avoid.
+func (w *Waker) Reschedule(next uint64) {
+	if w == nil || !w.c.scheduling {
+		return
+	}
+	w.c.wake[w.i] = next
+}
+
 // Clock drives the simulation. Components are stepped in registration
 // order; registration order therefore defines intra-cycle priority (bus
 // masters registered earlier win same-cycle arbitration races
-// deterministically).
+// deterministically). Sleepers are skipped while idle, but on any cycle
+// where several components are due they still tick in registration order,
+// so the wake schedule never perturbs intra-cycle priority.
 type Clock struct {
 	cycle   uint64
 	tickers []Ticker
 	names   []string
 
+	// Wake schedule, parallel to tickers. sleepers[i] is nil for an
+	// always-on ticker and wake[i] is then permanently 0 (always due);
+	// for a Sleeper, wake[i] is the next cycle its Tick must run.
+	sleepers    []Sleeper
+	wake        []uint64
+	numSleepers int
+	alwaysOn    int
+	wakeEnabled bool // SetWakeScheduling state (default true)
+	scheduling  bool // wakeEnabled && numSleepers > 0
+	skippable   bool // scheduling && every ticker is a Sleeper
+
 	obs *clockObs // nil when the clock is not instrumented
 }
 
 // NewClock returns a clock at cycle 0 with no components attached.
-func NewClock() *Clock { return &Clock{} }
+func NewClock() *Clock { return &Clock{wakeEnabled: true} }
 
-// Attach registers t to be stepped every cycle. The name is used only for
-// diagnostics. Attach must not be called while Run is executing.
+// Attach registers t to be stepped every cycle — or, when t implements
+// Sleeper, only on its wake cycles. The name is used only for diagnostics.
+// Attach must not be called while Run is executing.
 func (c *Clock) Attach(name string, t Ticker) {
+	i := len(c.tickers)
 	c.tickers = append(c.tickers, t)
 	c.names = append(c.names, name)
+	s, _ := t.(Sleeper)
+	c.sleepers = append(c.sleepers, s)
+	w := uint64(0)
+	if s != nil {
+		c.numSleepers++
+		if c.wakeEnabled {
+			w = s.NextWake(c.cycle)
+		}
+	} else {
+		c.alwaysOn++
+	}
+	c.wake = append(c.wake, w)
+	if b, ok := t.(WakeBinder); ok {
+		b.BindWake(&Waker{c: c, i: i})
+	}
+	c.refreshSched()
 	if c.obs != nil {
 		c.obs.addTicker(name)
 	}
 }
+
+func (c *Clock) refreshSched() {
+	c.scheduling = c.wakeEnabled && c.numSleepers > 0
+	c.skippable = c.scheduling && c.alwaysOn == 0 && len(c.tickers) > 0
+}
+
+// SetWakeScheduling enables or disables the quiescence scheduler. Disabled,
+// every ticker is dispatched every cycle exactly as before Sleeper existed —
+// the determinism reference mode. Re-enabling recomputes all wake cycles.
+// Both modes are bit-for-bit identical in simulated behaviour; the toggle
+// exists so tests can prove it.
+func (c *Clock) SetWakeScheduling(enabled bool) {
+	c.wakeEnabled = enabled
+	for i, s := range c.sleepers {
+		if s != nil && enabled {
+			c.wake[i] = s.NextWake(c.cycle)
+		} else {
+			c.wake[i] = 0
+		}
+	}
+	c.refreshSched()
+}
+
+// WakeScheduling reports whether the quiescence scheduler is enabled.
+func (c *Clock) WakeScheduling() bool { return c.wakeEnabled }
 
 // Cycle returns the number of completed cycles.
 func (c *Clock) Cycle() uint64 { return c.cycle }
@@ -118,24 +232,71 @@ func (c *Clock) Step() {
 		}
 		o.sampleIn--
 	}
+	c.stepPlain()
+}
+
+// stepPlain dispatches one cycle. Without a wake schedule it is the
+// original flat loop; with one, each ticker is dispatched only when due
+// and — crucially — still in registration order, so intra-cycle priority
+// is bit-for-bit what an unscheduled clock produces.
+func (c *Clock) stepPlain() {
 	cy := c.cycle
-	for _, t := range c.tickers {
+	if !c.scheduling {
+		for _, t := range c.tickers {
+			t.Tick(cy)
+		}
+		c.cycle++
+		return
+	}
+	for i, t := range c.tickers {
+		if c.wake[i] > cy {
+			continue
+		}
 		t.Tick(cy)
+		if s := c.sleepers[i]; s != nil {
+			c.wake[i] = s.NextWake(cy + 1)
+		}
 	}
 	c.cycle++
 }
 
 // stepTimed is a fully timed Step: each ticker's wall time is accumulated
-// into its sampled_ns counter.
+// into its sampled_ns counter. A sleeping ticker is not woken just to be
+// timed — its time share is sampled only on cycles it actually runs.
 func (c *Clock) stepTimed(o *clockObs) {
 	cy := c.cycle
-	for i, t := range c.tickers {
-		t0 := time.Now()
-		t.Tick(cy)
-		o.tickerNS[i].Add(uint64(time.Since(t0)))
+	if !c.scheduling {
+		for i, t := range c.tickers {
+			t0 := time.Now()
+			t.Tick(cy)
+			o.tickerNS[i].Add(uint64(time.Since(t0)))
+		}
+	} else {
+		for i, t := range c.tickers {
+			if c.wake[i] > cy {
+				continue
+			}
+			t0 := time.Now()
+			t.Tick(cy)
+			o.tickerNS[i].Add(uint64(time.Since(t0)))
+			if s := c.sleepers[i]; s != nil {
+				c.wake[i] = s.NextWake(cy + 1)
+			}
+		}
 	}
 	o.sampledCycles.Inc()
 	c.cycle++
+}
+
+// nextWake returns the earliest scheduled wake cycle across all tickers.
+func (c *Clock) nextWake() uint64 {
+	next := NoWake
+	for _, w := range c.wake {
+		if w < next {
+			next = w
+		}
+	}
+	return next
 }
 
 // Run advances the simulation by n cycles.
@@ -143,14 +304,58 @@ func (c *Clock) Run(n uint64) {
 	if c.obs != nil {
 		defer c.measureRun(time.Now(), c.cycle)
 	}
-	for i := uint64(0); i < n; i++ {
-		c.Step()
+	c.runTo(c.cycle + n)
+}
+
+// runTo advances the clock to cycle end. The obs nil-check is hoisted out
+// of the per-cycle loop, and when every attached ticker is a Sleeper the
+// clock jumps straight to the earliest wake cycle instead of dispatching
+// empty cycles one by one. Callers that need finer-grained control (e.g.
+// Session.Run's cancellation polling) call Run in chunks; the bulk skip
+// never crosses the chunk boundary, so the two compose.
+func (c *Clock) runTo(end uint64) {
+	o := c.obs
+	for c.cycle < end {
+		if c.skippable {
+			if next := c.nextWake(); next > c.cycle {
+				if next > end {
+					next = end
+				}
+				skip := next - c.cycle
+				c.cycle = next
+				if o != nil {
+					// Skipped cycles consume sampling budget: the timing
+					// sample cadence stays anchored to simulated cycles,
+					// not to dispatched steps.
+					if o.sampleIn > skip {
+						o.sampleIn -= skip
+					} else {
+						o.sampleIn = 0
+					}
+				}
+				continue
+			}
+		}
+		if o != nil {
+			if o.sampleIn == 0 {
+				o.sampleIn = o.sampleEvery - 1
+				c.stepTimed(o)
+				continue
+			}
+			o.sampleIn--
+		}
+		c.stepPlain()
 	}
 }
 
 // RunUntil advances the simulation until done returns true or the cycle
 // limit is reached. It returns the number of cycles executed and whether
-// done was satisfied.
+// done was satisfied. The predicate is re-evaluated before every cycle —
+// and only there: once the limit is hit the last evaluation's result is
+// returned without an extra call, so side-effecting predicates see exactly
+// one call per executed cycle. Because done may read state only the
+// predicate can see, RunUntil never bulk-skips; halting workloads keep an
+// always-on CPU attached anyway, which disables skipping.
 func (c *Clock) RunUntil(done func() bool, limit uint64) (uint64, bool) {
 	if c.obs != nil {
 		defer c.measureRun(time.Now(), c.cycle)
@@ -162,7 +367,7 @@ func (c *Clock) RunUntil(done func() bool, limit uint64) (uint64, bool) {
 		}
 		c.Step()
 	}
-	return c.cycle - start, done()
+	return limit, false
 }
 
 // measureRun accounts one Run/RunUntil episode: executed cycles, wall

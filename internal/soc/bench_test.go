@@ -1,10 +1,13 @@
 package soc
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/irq"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/periph"
 	"repro/internal/sim"
 )
 
@@ -34,6 +37,68 @@ func BenchmarkSimThroughput(b *testing.B) {
 	c := s.CPU.Counters()
 	b.ReportMetric(float64(c.Get(sim.EvInstrExecuted))/float64(b.N), "instr/cycle")
 }
+
+// periphHeavySoC assembles a TC1797 with a fleet-scale peripheral
+// complement — 16 timers, 8 ADCs, 4 CAN nodes, 2 FlexRay nodes on sparse
+// schedules — plus the usual flash-resident CPU loop. This is the mix the
+// wake scheduler targets: most peripherals are idle on most cycles, so
+// the always-on kernel burns its time delivering no-op Ticks.
+func periphHeavySoC(b *testing.B) *SoC {
+	b.Helper()
+	s := New(TC1797(), 1)
+	prio := uint32(20)
+	for i := 0; i < 16; i++ {
+		s.AddTimer(fmt.Sprintf("bt%d", i), 2000+421*uint64(i), 137*uint64(i), prio, irq.ToCPU, 0)
+		prio++
+	}
+	for i := 0; i < 8; i++ {
+		sig := periph.NewSignal(0, 4095, 997, 10, s.RNG().Fork(uint64(0x51+i)))
+		s.AddADC(fmt.Sprintf("ba%d", i), 3000+389*uint64(i), 71*uint64(i), sig, prio, irq.ToCPU, 0)
+		prio++
+	}
+	for i := 0; i < 4; i++ {
+		s.AddCAN(fmt.Sprintf("bc%d", i), 4000+513*uint64(i), 32, prio, irq.ToCPU, 0)
+		prio++
+	}
+	for i := 0; i < 2; i++ {
+		s.AddFlexRay(fmt.Sprintf("bf%d", i), 8000, 8, []int{1, 5}, 3, 16, prio, irq.ToCPU, 0)
+		prio++
+	}
+
+	a := isa.NewAsm(mem.FlashBase)
+	a.Movw(1, mem.DSPRBase)
+	a.Movw(3, 1<<30)
+	a.Label("body")
+	a.Ldw(2, 1, 0)
+	a.Addi(2, 2, 1)
+	a.Stw(2, 1, 0)
+	a.Loop(3, "body")
+	a.Halt()
+	p, err := a.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.LoadProgram(p)
+	s.ResetCPU(p.Base)
+	return s
+}
+
+func benchHotLoop(b *testing.B, sched bool) {
+	s := periphHeavySoC(b)
+	s.Clock.SetWakeScheduling(sched)
+	b.ResetTimer()
+	s.Clock.Run(uint64(b.N))
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+// BenchmarkSoCHotLoop is the PR5 acceptance benchmark: simulated cycles
+// per host second on the periph-heavy mix with the wake scheduler on
+// (the default). Its NoSched twin runs the identical system with the
+// scheduler forced off, so one `go test -bench SoCHotLoop` run carries
+// its own before/after comparison.
+func BenchmarkSoCHotLoop(b *testing.B)        { benchHotLoop(b, true) }
+func BenchmarkSoCHotLoopNoSched(b *testing.B) { benchHotLoop(b, false) }
 
 // BenchmarkSoCBuild measures system assembly cost (per evaluation run).
 func BenchmarkSoCBuild(b *testing.B) {

@@ -45,6 +45,10 @@ type StreamDecoder struct {
 	expectSeq uint8
 	haveSeq   bool
 
+	// msgs is the reusable output scratch handed back by Feed: the hot
+	// decode path allocates nothing once buf and msgs have warmed up.
+	msgs []Msg
+
 	gap *Gap
 
 	// Statistics. Delivered + Skipped + Lost == total messages the stream
@@ -134,16 +138,21 @@ func (s *StreamDecoder) accept(out []Msg, m Msg) []Msg {
 
 // Feed consumes newly received bytes and returns the trusted messages they
 // complete. It never returns an error: corruption becomes Gaps.
+//
+// The returned slice is a scratch buffer owned by the decoder and is only
+// valid until the next Feed call; callers that retain messages across
+// feeds must copy them out (an append does).
 func (s *StreamDecoder) Feed(p []byte) []Msg {
 	s.buf = append(s.buf, p...)
 	if s.Framed {
-		return s.feedFramed()
+		s.msgs = s.feedFramed(s.msgs[:0])
+	} else {
+		s.msgs = s.feedRaw(s.msgs[:0])
 	}
-	return s.feedRaw()
+	return s.msgs
 }
 
-func (s *StreamDecoder) feedFramed() []Msg {
-	var out []Msg
+func (s *StreamDecoder) feedFramed(out []Msg) []Msg {
 	i := 0
 	for {
 		// Hunt for the next frame marker.
@@ -238,8 +247,7 @@ func (s *StreamDecoder) frame(out []Msg, f []byte) []Msg {
 	return out
 }
 
-func (s *StreamDecoder) feedRaw() []Msg {
-	var out []Msg
+func (s *StreamDecoder) feedRaw(out []Msg) []Msg {
 	i := 0
 	for i < len(s.buf) {
 		m, k, err := s.dec.Decode(s.buf[i:])
