@@ -11,6 +11,7 @@
 //	tcfleet run [-spec campaign.json] [-socs a,b] [-mixes a,b] [-faults a,b]
 //	            [-res n,m] [-seeds N] [-seed N] [-cycles N] [-framed] [-degrade]
 //	            [-workers N] [-celltimeout D] [-retries N] [-journal dir]
+//	            [-shards N] [-hbtimeout D] [-shardretries N] [-allow-partial]
 //	            [-json] [-out fleet.json] [-outdir reports/]
 //	            [-trace spans.json] [-metrics :addr]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -23,6 +24,18 @@
 // reloads the matrix from the journal manifest, skips every
 // journaled-complete cell, re-runs failed and missing ones, and
 // produces an aggregate byte-identical to an uninterrupted run.
+//
+// With -shards N the campaign runs across N child worker processes
+// ("tcfleet shard-worker", an internal subcommand), each executing a
+// deterministic slice of the expanded matrix and streaming
+// CRC-32-trailed reports back to the supervising parent, which detects
+// hangs via heartbeats, respawns crashed workers with backoff (re-running
+// only their non-journaled cells), and produces the same byte-identical
+// aggregate as an in-process run.
+//
+// A campaign that finishes with permanently-failed cells exits nonzero
+// so CI and scripts cannot mistake a partial aggregate for a complete
+// one; -allow-partial restores the old exit-0 behavior.
 package main
 
 import (
@@ -40,6 +53,7 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/campaign/shard"
 	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/runcfg"
@@ -64,6 +78,11 @@ func run(args []string) error {
 		return runAggregate(args[1:])
 	case "run":
 		return runCampaign(args[1:])
+	case "shard-worker":
+		// Internal: the child-process half of "tcfleet run -shards N".
+		// Protocol on stdio; never invoked by hand.
+		os.Exit(shard.WorkerMain(args[1:], os.Stdin, os.Stdout, os.Stderr))
+		return nil
 	case "-h", "-help", "--help", "help":
 		flag.Usage()
 		return nil
@@ -157,6 +176,9 @@ func runCampaign(args []string) error {
 	degrade := fs.Bool("degrade", false, "enable graceful degradation on every cell")
 	workers := fs.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
 	sup := runcfg.BindSupervise(fs)
+	shardCfg := runcfg.BindShard(fs)
+	allowPartial := fs.Bool("allow-partial", false,
+		"exit 0 even when cells failed permanently (default: a partial aggregate exits nonzero)")
 	journalDir := fs.String("journal", "", "write-ahead journal directory (makes the campaign resumable after a crash or Ctrl-C)")
 	resumeDir := fs.String("resume", "", "resume an interrupted journaled campaign from this directory (matrix comes from the journal)")
 	jsonOut := fs.Bool("json", false, "print the fleet profile as JSON instead of tables")
@@ -173,6 +195,9 @@ func runCampaign(args []string) error {
 	}
 
 	if err := sup.Validate(); err != nil {
+		return err
+	}
+	if err := shardCfg.Validate(); err != nil {
 		return err
 	}
 	stopProf, err := hostProf.Start()
@@ -287,9 +312,33 @@ func runCampaign(args []string) error {
 	fmt.Fprintf(os.Stderr, "tcfleet: campaign %q: %d cells\n", m.Name, m.Size())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	res2, err := campaign.Run(ctx, m, opt)
-	if err != nil {
-		return err
+	var res2 *campaign.Result
+	if shardCfg.Shards > 1 {
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("locating own binary for shard workers: %w", err)
+		}
+		res2, err = shard.Run(ctx, m, shard.Options{
+			Campaign:         opt,
+			Shards:           shardCfg.Shards,
+			Transport:        &shard.ExecTransport{Argv: []string{exe, "shard-worker"}, Stderr: os.Stderr},
+			HeartbeatEvery:   shardCfg.HeartbeatEvery,
+			HeartbeatTimeout: shardCfg.HeartbeatTimeout,
+			Retries:          shardCfg.ShardRetries,
+			DrainTimeout:     shardCfg.DrainTimeout,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "tcfleet: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		res2, err = campaign.Run(ctx, m, opt)
+		if err != nil {
+			return err
+		}
 	}
 
 	for _, w := range res2.Warnings {
@@ -304,6 +353,9 @@ func runCampaign(args []string) error {
 	}
 	if res2.Retried > 0 {
 		status += fmt.Sprintf(" (%d retries)", res2.Retried)
+	}
+	if res2.Restarts > 0 {
+		status += fmt.Sprintf(" (%d shard respawns)", res2.Restarts)
 	}
 	if res2.Canceled {
 		status = " (canceled — partial aggregate"
@@ -325,7 +377,16 @@ func runCampaign(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "tcfleet: campaign trace written to %s\n", *tracePath)
 	}
-	return emit(res2.Profile, *jsonOut, *outPath, func() { printProfile(res2.Profile, 0) })
+	if err := emit(res2.Profile, *jsonOut, *outPath, func() { printProfile(res2.Profile, 0) }); err != nil {
+		return err
+	}
+	if res2.Failed > 0 && !*allowPartial {
+		// A partial aggregate must not masquerade as success: scripts and
+		// CI gate on the exit code. The profile above is still complete
+		// for the cells that did run; -allow-partial accepts it.
+		return fmt.Errorf("%d cell(s) failed permanently; aggregate is partial (use -allow-partial to accept it)", res2.Failed)
+	}
+	return nil
 }
 
 // emit writes the profile to -out when requested and renders it to

@@ -19,11 +19,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 
 	"repro/internal/profiling"
 )
@@ -69,10 +71,11 @@ type Journal struct {
 	f   *os.File
 }
 
-// matrixHash fingerprints the canonical expansion (every cell's ID,
+// MatrixHash fingerprints the canonical expansion (every cell's ID,
 // index, and fully resolved run configuration including derived seeds),
-// so resume detects any drift between the journal and the matrix.
-func matrixHash(cells []Cell) string {
+// so resume — and a shard worker handed a matrix over a process
+// boundary — detects any drift between two views of the campaign.
+func MatrixHash(cells []Cell) string {
 	b, err := json.Marshal(cells)
 	if err != nil {
 		// Cells contain only marshalable fields; this cannot happen.
@@ -85,14 +88,18 @@ func matrixHash(cells []Cell) string {
 // WriteFileAtomic writes through a temp file in the target's directory
 // and renames it into place, so readers — and crash recovery — only
 // ever observe absent-or-complete files, never a torn write. The
-// journal and every tcfleet file output go through it.
+// journal and every tcfleet file output go through it. After the
+// rename, the parent directory is fsync'd: the rename lives in the
+// directory entry, and without the dirent barrier a power loss could
+// forget the rename itself, leaving neither old nor new name even
+// though the data pages survived.
 //
-// The temp file is deliberately not fsync'd: rename atomicity already
-// covers every process-level crash, and after a power loss a
+// The temp file's data is deliberately not fsync'd: rename atomicity
+// already covers every process-level crash, and after a power loss a
 // journal-written report that lost pages fails its CRC-32 verification
 // on resume and is simply re-run — detection plus re-execution is
-// cheaper than paying an fsync per cell on the campaign hot path (the
-// manifest append, the actual write-ahead barrier, does fsync).
+// cheaper than paying a data fsync per cell on the campaign hot path
+// (the manifest append, the actual write-ahead barrier, does fsync).
 func WriteFileAtomic(path string, write func(w io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
@@ -117,12 +124,35 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) error {
 		os.Remove(name)
 		return err
 	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives power
+// loss. Filesystems that refuse to sync directories (some network and
+// FUSE mounts return EINVAL/ENOTSUP) degrade to the pre-barrier
+// behavior rather than failing the write.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("fsync %s: %w", dir, err)
+	}
 	return nil
 }
 
-// openJournal starts a fresh journal in dir. An existing manifest is
-// refused — silently truncating one would destroy the very state a
-// crash-tolerant run exists to preserve; resume instead.
+// OpenJournal starts a fresh journal in dir for the expanded campaign.
+// An existing manifest is refused — silently truncating one would
+// destroy the very state a crash-tolerant run exists to preserve;
+// resume instead. Callers that already run inside Run never need this;
+// it is exported for the sharded supervisor, which owns the journal at
+// the campaign tier while cells execute in worker processes.
+func OpenJournal(dir string, m Matrix, cells []Cell) (*Journal, error) {
+	return openJournal(dir, m, MatrixHash(cells), cells)
+}
+
 func openJournal(dir string, m Matrix, hash string, cells []Cell) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -203,11 +233,16 @@ func LoadJournalMatrix(dir string) (Matrix, error) {
 	return h.Matrix, nil
 }
 
-// resumeJournal validates the manifest in dir against the expanded
+// ResumeJournal validates the manifest in dir against the expanded
 // matrix and loads every journaled-complete cell's verified report.
 // Cells whose report is missing, torn, or checksum-inconsistent are
 // surfaced as warnings and left for re-execution — resume degrades to
-// re-running a cell, never to trusting corrupt data.
+// re-running a cell, never to trusting corrupt data. Exported for the
+// sharded supervisor (see OpenJournal).
+func ResumeJournal(dir string, cells []Cell) (*Journal, map[int]*profiling.RunReport, []string, error) {
+	return resumeJournal(dir, MatrixHash(cells), cells)
+}
+
 func resumeJournal(dir string, hash string, cells []Cell) (*Journal, map[int]*profiling.RunReport, []string, error) {
 	h, entries, err := readManifest(dir)
 	if err != nil {
@@ -262,10 +297,10 @@ func resumeJournal(dir string, hash string, cells []Cell) (*Journal, map[int]*pr
 	return &Journal{dir: dir, f: f}, resumed, warns, nil
 }
 
-// recordDone persists the cell's report atomically (with its embedded
+// RecordDone persists the cell's report atomically (with its embedded
 // CRC-32 trailer) and then appends the manifest line — in that order,
 // so a manifest "done" entry always implies a verifiable report file.
-func (j *Journal) recordDone(cell Cell, attempts int, r *profiling.RunReport) error {
+func (j *Journal) RecordDone(cell Cell, attempts int, r *profiling.RunReport) error {
 	b, crc, err := r.EncodeSummed()
 	if err != nil {
 		return err
@@ -283,9 +318,9 @@ func (j *Journal) recordDone(cell Cell, attempts int, r *profiling.RunReport) er
 	})
 }
 
-// recordFailed appends the classified failure, so resume re-runs the
+// RecordFailed appends the classified failure, so resume re-runs the
 // cell and operators can audit what went wrong and how often.
-func (j *Journal) recordFailed(ce CellError) error {
+func (j *Journal) RecordFailed(ce CellError) error {
 	return j.appendLine(journalEntry{
 		Cell: ce.Cell.ID, Index: ce.Cell.Index, Status: "failed",
 		Attempts: ce.Attempts, Class: string(ce.Class), Error: ce.Err.Error(),

@@ -318,7 +318,7 @@ func TestLoadJournalMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if matrixHash(cells) != matrixHash(cells2) {
+	if MatrixHash(cells) != MatrixHash(cells2) {
 		t.Error("round-tripped matrix expands to a different hash")
 	}
 }

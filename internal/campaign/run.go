@@ -69,10 +69,11 @@ type Result struct {
 	Failed    int           // sessions that errored terminally (see Errors)
 	Resumed   int           // journaled-complete cells skipped by Resume
 	Retried   int           // total extra attempts across all cells
+	Restarts  int           // shard worker respawns (sharded campaigns only)
 	Canceled  bool          // the context fired before all cells ran
 	SimCycles uint64        // total simulated cycles across completed sessions
 	Wall      time.Duration // wall-clock duration of the execute phase
-	Workers   int           // effective worker count
+	Workers   int           // effective worker count (per shard when sharded)
 	// Profile is the canonical fleet aggregate over all completed
 	// sessions — the partial aggregate when the campaign was canceled,
 	// nil when nothing completed.
@@ -144,45 +145,17 @@ func runCellWith(ctx context.Context, cell Cell, tune func(*soc.SoC)) (*profilin
 // the aggregator canonicalizes its output, so it cannot matter which
 // cells were loaded from the journal and which were executed.
 func Run(ctx context.Context, m Matrix, opt Options) (*Result, error) {
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
 	expSpan := opt.Tracer.Start("expand", "campaign")
 	cells, err := m.Expand()
 	expSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Cells: len(cells), Workers: workers}
-
-	cellsTotal := opt.Obs.Counter("campaign_cells_total")
-	doneCtr := opt.Obs.Counter("campaign_sessions_done")
-	failCtr := opt.Obs.Counter("campaign_sessions_failed")
-	sessRate := opt.Obs.Gauge("campaign_sessions_per_sec")
-	cycleRate := opt.Obs.Gauge("campaign_sim_cycles_per_sec")
-	resumeSkips := opt.Obs.Counter("campaign_resume_skips")
-	met := supMetrics{
-		retries:  opt.Obs.Counter("campaign_retries"),
-		panics:   opt.Obs.Counter("campaign_panics"),
-		timeouts: opt.Obs.Counter("campaign_timeouts"),
-	}
-	cellsTotal.Add(uint64(len(cells)))
-
-	exec := opt.exec
-	if exec == nil {
-		exec = runCell
-	}
+	res := &Result{Cells: len(cells)}
+	opt.Obs.Counter("campaign_cells_total").Add(uint64(len(cells)))
 
 	acc := profiling.NewAccumulator()
-	var (
-		mu        sync.Mutex // guards errs, warns, simCycles, retried
-		errs      []CellError
-		warns     []string
-		simCycles uint64
-		retried   int
-	)
+	var simCycles0 uint64
 
 	// Journal setup: open fresh, or resume — validating the manifest
 	// against this expansion and pre-loading journaled-complete reports
@@ -191,18 +164,19 @@ func Run(ctx context.Context, m Matrix, opt Options) (*Result, error) {
 	pending := cells
 	if opt.JournalDir != "" {
 		jSpan := opt.Tracer.Start("journal", "campaign")
-		hash := matrixHash(cells)
+		hash := MatrixHash(cells)
 		if opt.Resume {
 			var resumed map[int]*profiling.RunReport
-			jr, resumed, warns, err = resumeJournal(opt.JournalDir, hash, cells)
+			jr, resumed, res.Warnings, err = resumeJournal(opt.JournalDir, hash, cells)
 			if err == nil {
+				resumeSkips := opt.Obs.Counter("campaign_resume_skips")
 				pending = make([]Cell, 0, len(cells))
 				for _, cell := range cells {
 					if rep, ok := resumed[cell.Index]; ok {
 						acc.Add(cell.ID, rep)
 						resumeSkips.Inc()
 						res.Resumed++
-						simCycles += rep.Cycles
+						simCycles0 += rep.Cycles
 						continue
 					}
 					pending = append(pending, cell)
@@ -217,10 +191,68 @@ func Run(ctx context.Context, m Matrix, opt Options) (*Result, error) {
 		}
 		defer jr.Close()
 	}
+	if err := executeCells(ctx, pending, opt, jr, acc, res, simCycles0); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunCells executes an explicit, already-expanded cell subset under the
+// full supervisor policy — panic isolation, watchdog deadlines, and
+// classified retries. It is the shard worker's entry point: the cells
+// keep the indices and derived seeds their coordinating campaign
+// expanded, so a report computed here is byte-identical to one computed
+// in-process. Journaling stays with the campaign-tier coordinator, so
+// JournalDir/Resume are rejected.
+func RunCells(ctx context.Context, cells []Cell, opt Options) (*Result, error) {
+	if opt.JournalDir != "" || opt.Resume {
+		return nil, fmt.Errorf("campaign: RunCells does not journal (the campaign-tier supervisor owns the journal)")
+	}
+	res := &Result{Cells: len(cells)}
+	opt.Obs.Counter("campaign_cells_total").Add(uint64(len(cells)))
+	if err := executeCells(ctx, cells, opt, nil, profiling.NewAccumulator(), res, 0); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// executeCells runs the pending cells across the bounded worker pool
+// under the per-cell supervisor, streaming every completed report into
+// acc (and jr, when journaling), then finalizes the canonical aggregate
+// into res. simCycles0 carries cycles pre-loaded from a resumed
+// journal so throughput gauges and totals stay truthful.
+func executeCells(ctx context.Context, pending []Cell, opt Options, jr *Journal, acc *profiling.Accumulator, res *Result, simCycles0 uint64) error {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(pending) {
 		workers = len(pending)
-		res.Workers = workers
 	}
+	res.Workers = workers
+
+	doneCtr := opt.Obs.Counter("campaign_sessions_done")
+	failCtr := opt.Obs.Counter("campaign_sessions_failed")
+	sessRate := opt.Obs.Gauge("campaign_sessions_per_sec")
+	cycleRate := opt.Obs.Gauge("campaign_sim_cycles_per_sec")
+	met := supMetrics{
+		retries:  opt.Obs.Counter("campaign_retries"),
+		panics:   opt.Obs.Counter("campaign_panics"),
+		timeouts: opt.Obs.Counter("campaign_timeouts"),
+	}
+
+	exec := opt.exec
+	if exec == nil {
+		exec = runCell
+	}
+
+	var (
+		mu        sync.Mutex // guards errs, warns, simCycles, retried
+		errs      []CellError
+		warns     = res.Warnings
+		simCycles = simCycles0
+		retried   int
+	)
 
 	feed := make(chan Cell)
 	execSpan := opt.Tracer.Start("execute", "campaign")
@@ -242,7 +274,7 @@ func Run(ctx context.Context, m Matrix, opt Options) (*Result, error) {
 					mu.Unlock()
 				}
 				if err == nil && jr != nil {
-					if jerr := jr.recordDone(cell, attempts, report); jerr != nil {
+					if jerr := jr.RecordDone(cell, attempts, report); jerr != nil {
 						// A report we cannot persist is a failed cell:
 						// counting it complete would let a resume silently
 						// drop it from the fleet.
@@ -272,7 +304,7 @@ func Run(ctx context.Context, m Matrix, opt Options) (*Result, error) {
 					failCtr.Inc()
 					ce := newCellError(cell, err, attempts)
 					if jr != nil {
-						if jerr := jr.recordFailed(ce); jerr != nil {
+						if jerr := jr.RecordFailed(ce); jerr != nil {
 							mu.Lock()
 							warns = append(warns, fmt.Sprintf("cell %s: failure not journaled: %v", cell.ID, jerr))
 							mu.Unlock()
@@ -320,9 +352,9 @@ feedLoop:
 		fp, err := acc.Finalize()
 		aggSpan.End()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res.Profile = fp
 	}
-	return res, nil
+	return nil
 }

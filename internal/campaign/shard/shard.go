@@ -1,0 +1,286 @@
+// Package shard scales a campaign past one process: the canonical
+// expanded matrix is split into deterministic index ranges, each range
+// runs in a child worker process (tcfleet shard-worker), and completed
+// cells stream back over the worker's stdout as the same CRC-32-trailed
+// report records the journal persists — re-verified on ingest, because
+// a pipe from a process that can crash mid-write is exactly the hostile
+// stream profiling.RecordScanner exists for.
+//
+// The split is part of the campaign's determinism contract: Split is a
+// pure function of (cell count, shard count), cell seeds were already
+// fixed at expansion, and the fleet accumulator canonicalizes at
+// Finalize — so the global aggregate is byte-identical for any shard
+// count, any per-shard worker count, and any interleaving of worker
+// crashes and respawns, as long as every cell eventually lands exactly
+// once.
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ProtocolVersion versions the //shard control-line protocol a worker
+// speaks over stdout (hello/hb/cell/fail/bye).
+const ProtocolVersion = 1
+
+// Supervision defaults; Options fields left zero fall back to these.
+const (
+	// DefaultHeartbeatEvery is how often a worker emits an "hb" control
+	// line when it has no report to stream.
+	DefaultHeartbeatEvery = 500 * time.Millisecond
+	// DefaultHeartbeatTimeout is the supervisor's hang deadline: a shard
+	// silent for this long is presumed wedged and killed.
+	DefaultHeartbeatTimeout = 10 * time.Second
+	// DefaultShardRetries is how many times a crashed/hung/torn shard is
+	// re-spawned before its remaining cells are failed.
+	DefaultShardRetries = 2
+	// DefaultRetryBackoff is the base delay before a shard respawn,
+	// doubled per attempt and jittered from the campaign seed.
+	DefaultRetryBackoff = 250 * time.Millisecond
+	// DefaultDrainTimeout bounds graceful drain on cancel: SIGTERM, wait
+	// this long, then SIGKILL.
+	DefaultDrainTimeout = 5 * time.Second
+)
+
+// Split partitions total cell indices into contiguous, balanced,
+// deterministic ranges — shard s gets indices in ascending order, the
+// first total%shards shards one extra cell. It is a pure function of
+// its arguments, so every run of the same matrix at the same shard
+// count produces the same assignment.
+func Split(total, shards int) [][]int {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > total {
+		// Never materialize empty shards: a worker with no cells is pure
+		// supervision overhead.
+		shards = total
+		if shards == 0 {
+			shards = 1
+		}
+	}
+	out := make([][]int, shards)
+	base := total / shards
+	extra := total % shards
+	next := 0
+	for s := range out {
+		n := base
+		if s < extra {
+			n++
+		}
+		if n > 0 {
+			out[s] = make([]int, 0, n)
+		}
+		for i := 0; i < n; i++ {
+			out[s] = append(out[s], next)
+			next++
+		}
+	}
+	return out
+}
+
+// FormatIndexSet renders sorted cell indices compactly as ranges:
+// [0 1 2 3 7 9 10] → "0-3,7,9-10". The inverse of ParseIndexSet.
+func FormatIndexSet(indices []int) string {
+	if len(indices) == 0 {
+		return ""
+	}
+	sorted := append([]int(nil), indices...)
+	sort.Ints(sorted)
+	var b strings.Builder
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if j == i {
+			fmt.Fprintf(&b, "%d", sorted[i])
+		} else {
+			fmt.Fprintf(&b, "%d-%d", sorted[i], sorted[j])
+		}
+		i = j + 1
+	}
+	return b.String()
+}
+
+// ParseIndexSet parses the FormatIndexSet syntax back into a sorted,
+// deduplicated index slice.
+func ParseIndexSet(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	seen := map[int]bool{}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		lo, hi, found := strings.Cut(tok, "-")
+		a, err := strconv.Atoi(lo)
+		if err != nil || a < 0 {
+			return nil, fmt.Errorf("shard: bad index set token %q", tok)
+		}
+		b := a
+		if found {
+			b, err = strconv.Atoi(hi)
+			if err != nil || b < a {
+				return nil, fmt.Errorf("shard: bad index range %q", tok)
+			}
+		}
+		for i := a; i <= b; i++ {
+			seen[i] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Spec is everything a transport needs to start one shard worker. The
+// matrix travels as JSON over the worker's stdin; everything else is
+// small enough for argv.
+type Spec struct {
+	Shard  int    // shard ordinal, for logging and protocol lines
+	Shards int    // total shard count
+	Matrix []byte // campaign matrix JSON, fed to the worker's stdin
+	// Cells is the FormatIndexSet of the cell indices this spawn must
+	// execute — on a respawn, only the cells not yet journaled done.
+	Cells   string
+	Workers int           // in-process worker pool size inside the shard
+	Hash    string        // MatrixHash of the full expansion; worker re-verifies
+	HB      time.Duration // heartbeat period the worker must honor
+
+	// Per-cell supervision, forwarded into the worker's campaign.RunCells.
+	CellTimeout time.Duration
+	Retries     int
+}
+
+// Args renders the spec's argv flags for the shard-worker subcommand
+// (the matrix is not included — it goes over stdin).
+func (s Spec) Args() []string {
+	args := []string{
+		"-shard", strconv.Itoa(s.Shard),
+		"-cells", s.Cells,
+		"-workers", strconv.Itoa(s.Workers),
+		"-hb", s.HB.String(),
+	}
+	if s.Hash != "" {
+		args = append(args, "-hash", s.Hash)
+	}
+	if s.CellTimeout > 0 {
+		args = append(args, "-celltimeout", s.CellTimeout.String())
+	}
+	if s.Retries > 0 {
+		args = append(args, "-retries", strconv.Itoa(s.Retries))
+	}
+	return args
+}
+
+// Conn is one live shard worker as the supervisor sees it: a byte
+// stream to ingest and a process to signal. Implementations must make
+// Output return EOF (or an error) once the worker is gone, and Wait
+// must be callable exactly once after Output is drained.
+type Conn interface {
+	// Output is the worker's record/control stream (its stdout).
+	Output() io.Reader
+	// Terminate asks the worker to drain gracefully (SIGTERM).
+	Terminate()
+	// Kill stops the worker immediately (SIGKILL).
+	Kill()
+	// Wait reaps the worker and returns its exit error, nil on clean
+	// exit. Call after draining Output.
+	Wait() error
+	// Pid identifies the worker process for logs (0 when not applicable).
+	Pid() int
+}
+
+// Transport starts shard workers. The local implementation execs a
+// child process; the interface is deliberately narrow so a TCP
+// transport (remote workers) can slot in without touching the
+// supervisor.
+type Transport interface {
+	Start(spec Spec) (Conn, error)
+}
+
+// ExecTransport launches shard workers as local child processes:
+// Argv[0] is the binary, Argv[1:] fixed leading arguments (normally
+// {"tcfleet", "shard-worker"}), and the spec's flags are appended. The
+// matrix JSON is piped to the child's stdin; stderr is forwarded to
+// Stderr (campaign diagnostics stay human-readable and out of the
+// record stream).
+type ExecTransport struct {
+	Argv   []string
+	Env    []string // extra environment entries, appended to os.Environ()
+	Stderr io.Writer
+}
+
+// Start launches one worker process for the spec.
+func (t *ExecTransport) Start(spec Spec) (Conn, error) {
+	if len(t.Argv) == 0 {
+		return nil, fmt.Errorf("shard: ExecTransport has no argv")
+	}
+	args := append(append([]string(nil), t.Argv[1:]...), spec.Args()...)
+	cmd := exec.Command(t.Argv[0], args...)
+	cmd.Stdin = bytes.NewReader(spec.Matrix)
+	cmd.Stderr = t.Stderr
+	if len(t.Env) > 0 {
+		cmd.Env = append(os.Environ(), t.Env...)
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &execConn{cmd: cmd, out: out}, nil
+}
+
+// execConn wraps one exec'd worker. Signals after process exit are
+// ignored — the monitor may race Wait and that must stay harmless.
+type execConn struct {
+	cmd  *exec.Cmd
+	out  io.ReadCloser
+	once sync.Once
+	werr error
+}
+
+func (c *execConn) Output() io.Reader { return c.out }
+
+func (c *execConn) Terminate() {
+	if p := c.cmd.Process; p != nil {
+		_ = p.Signal(syscall.SIGTERM)
+	}
+}
+
+func (c *execConn) Kill() {
+	if p := c.cmd.Process; p != nil {
+		_ = p.Kill()
+	}
+}
+
+func (c *execConn) Wait() error {
+	c.once.Do(func() { c.werr = c.cmd.Wait() })
+	return c.werr
+}
+
+func (c *execConn) Pid() int {
+	if p := c.cmd.Process; p != nil {
+		return p.Pid
+	}
+	return 0
+}

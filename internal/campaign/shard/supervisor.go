@@ -1,0 +1,627 @@
+// Supervisor: the campaign-tier fault boundary, one level above the
+// per-cell supervisor. Workers are processes, and processes fail in
+// ways goroutines cannot: SIGKILL, OOM, a wedged runtime, a pipe torn
+// mid-record. The supervisor therefore trusts only two things — the
+// journal it owns, and records that survive CRC-32 verification — and
+// treats everything else as evidence to classify:
+//
+//   - silence past the heartbeat deadline → hang: kill, respawn
+//   - nonzero exit / spawn failure → crash: respawn
+//   - clean exit with cells missing → torn shard: respawn
+//   - a worker-reported "fail" line → terminal per-cell failure,
+//     recorded with the worker's own class/attempts (the worker already
+//     ran the per-cell retry policy; re-running the shard would not
+//     change the verdict)
+//
+// Respawns re-assign only the cells not yet journaled done, with
+// seed-derived jittered exponential backoff (the shard analogue of the
+// per-cell policy), and a respawn budget; cells still missing when the
+// budget runs out fail as ClassTransient. Cancel drains gracefully:
+// SIGTERM, a bounded wait, then SIGKILL.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+	"repro/internal/profiling"
+	"repro/internal/sim"
+)
+
+// shardBackoffLabel seeds the respawn-jitter RNG fork off the campaign
+// seed (cf. the per-cell supervisor's 0xbacc0ff), one sub-fork per
+// shard so concurrent respawns decorrelate.
+const shardBackoffLabel = 0x5a4db0ff
+
+// Options tunes the sharded supervisor. Campaign carries the options
+// forwarded to each worker's in-process pool (Workers, CellTimeout,
+// Retries) and the campaign-tier journal (JournalDir, Resume), which
+// the supervisor owns — workers never journal.
+type Options struct {
+	Campaign campaign.Options
+	// Shards is the number of worker processes; <=0 means 1.
+	Shards int
+	// Transport starts shard workers; required.
+	Transport Transport
+	// HeartbeatEvery is the heartbeat period workers are told to honor;
+	// 0 means DefaultHeartbeatEvery.
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout is the hang deadline: a shard silent this long is
+	// killed and classified as hung. 0 means DefaultHeartbeatTimeout.
+	HeartbeatTimeout time.Duration
+	// Retries is the respawn budget per shard (a shard spawns at most
+	// Retries+1 times); <0 means DefaultShardRetries.
+	Retries int
+	// RetryBackoff is the base respawn delay, doubled per attempt and
+	// jittered from the campaign seed; 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// DrainTimeout bounds graceful drain on cancel (SIGTERM → wait →
+	// SIGKILL); 0 means DefaultDrainTimeout.
+	DrainTimeout time.Duration
+	// Logf receives supervision events (spawn, hang, crash, respawn) for
+	// operator visibility; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// supState is the shared ledger every shard runner writes through: which
+// cells are done or terminally failed, the aggregate, and the journal.
+// One mutex serializes it all — ingest is I/O-bound, not lock-bound.
+type supState struct {
+	mu     sync.Mutex
+	cells  []campaign.Cell
+	done   map[int]bool
+	failed map[int]campaign.CellError
+	acc    *profiling.Accumulator
+	jr     *campaign.Journal
+	warns  []string
+	cycles uint64
+
+	opt     *Options
+	doneCtr *obs.Counter
+	failCtr *obs.Counter
+}
+
+// Run expands the matrix, splits it across opt.Shards worker processes,
+// and supervises them to completion. It is the sharded analogue of
+// campaign.Run and keeps its contract: the returned Profile is
+// byte-identical to a single-process run of the same matrix, for any
+// shard/worker count and across any schedule of worker crashes and
+// recoveries, because every cell lands in the aggregate exactly once
+// with its expansion-time seed.
+func Run(ctx context.Context, m campaign.Matrix, opt Options) (*campaign.Result, error) {
+	if opt.Transport == nil {
+		return nil, fmt.Errorf("shard: no transport configured")
+	}
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if opt.HeartbeatEvery <= 0 {
+		opt.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if opt.HeartbeatTimeout <= 0 {
+		opt.HeartbeatTimeout = DefaultHeartbeatTimeout
+	}
+	if opt.Retries < 0 {
+		opt.Retries = DefaultShardRetries
+	}
+	if opt.RetryBackoff <= 0 {
+		opt.RetryBackoff = DefaultRetryBackoff
+	}
+	if opt.DrainTimeout <= 0 {
+		opt.DrainTimeout = DefaultDrainTimeout
+	}
+
+	reg := opt.Campaign.Obs
+	tr := opt.Campaign.Tracer
+	expSpan := tr.Start("expand", "campaign")
+	cells, err := m.Expand()
+	expSpan.End()
+	if err != nil {
+		return nil, err
+	}
+	matrixJSON, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	hash := campaign.MatrixHash(cells)
+	res := &campaign.Result{Cells: len(cells)}
+	reg.Counter("campaign_cells_total").Add(uint64(len(cells)))
+
+	st := &supState{
+		cells:   cells,
+		done:    map[int]bool{},
+		failed:  map[int]campaign.CellError{},
+		acc:     profiling.NewAccumulator(),
+		opt:     &opt,
+		doneCtr: reg.Counter("campaign_sessions_done"),
+		failCtr: reg.Counter("campaign_sessions_failed"),
+	}
+
+	// Journal: owned here, at the campaign tier. Workers stream; the
+	// supervisor persists — so "journaled done" is exactly "ingested and
+	// verified", and a respawned shard re-runs precisely the complement.
+	if opt.Campaign.JournalDir != "" {
+		jSpan := tr.Start("journal", "campaign")
+		if opt.Campaign.Resume {
+			var resumed map[int]*profiling.RunReport
+			st.jr, resumed, st.warns, err = campaign.ResumeJournal(opt.Campaign.JournalDir, cells)
+			if err == nil {
+				skips := reg.Counter("campaign_resume_skips")
+				for idx, rep := range resumed {
+					st.acc.Add(cells[idx].ID, rep)
+					st.done[idx] = true
+					st.cycles += rep.Cycles
+					skips.Inc()
+					res.Resumed++
+				}
+			}
+		} else {
+			st.jr, err = campaign.OpenJournal(opt.Campaign.JournalDir, m, cells)
+		}
+		jSpan.End()
+		if err != nil {
+			return nil, err
+		}
+		defer st.jr.Close()
+	}
+
+	workers := opt.Campaign.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	res.Workers = workers
+
+	assign := Split(len(cells), shards)
+	execSpan := tr.Start("execute", "campaign")
+	start := time.Now()
+	var wg sync.WaitGroup
+	var restarts atomic.Int64
+	for si := range assign {
+		wg.Add(1)
+		go func(si int, indices []int) {
+			defer wg.Done()
+			r := &shardRunner{
+				st: st, opt: &opt, si: si,
+				spec: Spec{
+					Shard: si, Shards: len(assign), Matrix: matrixJSON,
+					Workers: workers, Hash: hash, HB: opt.HeartbeatEvery,
+					CellTimeout: opt.Campaign.CellTimeout, Retries: opt.Campaign.Retries,
+				},
+				indices:   indices,
+				restarts:  &restarts,
+				alive:     reg.Gauge(fmt.Sprintf("campaign_shard%02d_alive", si)),
+				respawns:  reg.Gauge(fmt.Sprintf("campaign_shard%02d_restarts", si)),
+				cellsDone: reg.Gauge(fmt.Sprintf("campaign_shard%02d_cells_done", si)),
+				hbAge:     reg.Gauge(fmt.Sprintf("campaign_shard%02d_hb_age_sec", si)),
+				restCtr:   reg.Counter("campaign_shard_restarts"),
+				hangCtr:   reg.Counter("campaign_shard_hangs"),
+				crashCtr:  reg.Counter("campaign_shard_crashes"),
+				tornCtr:   reg.Counter("campaign_shard_torn_records"),
+				dupCtr:    reg.Counter("campaign_shard_dup_cells"),
+				orphanCtr: reg.Counter("campaign_shard_orphan_cells"),
+			}
+			r.run(ctx)
+		}(si, assign[si])
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	execSpan.End()
+
+	st.mu.Lock()
+	res.Canceled = ctx.Err() != nil
+	res.Completed = st.acc.Len()
+	res.Restarts = int(restarts.Load())
+	res.SimCycles = st.cycles
+	res.Warnings = st.warns
+	errs := make([]campaign.CellError, 0, len(st.failed))
+	for _, ce := range st.failed {
+		errs = append(errs, ce)
+	}
+	st.mu.Unlock()
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Cell.Index < errs[j].Cell.Index })
+	res.Failed = len(errs)
+	res.Errors = errs
+
+	if res.Completed > 0 {
+		aggSpan := tr.Start("aggregate", "campaign")
+		fp, err := st.acc.Finalize()
+		aggSpan.End()
+		if err != nil {
+			return nil, err
+		}
+		res.Profile = fp
+	}
+	return res, nil
+}
+
+// remaining returns the shard's assigned indices that are neither done
+// nor terminally failed.
+func (s *supState) remaining(indices []int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int
+	for _, idx := range indices {
+		if !s.done[idx] {
+			if _, bad := s.failed[idx]; !bad {
+				out = append(out, idx)
+			}
+		}
+	}
+	return out
+}
+
+// ingest records one verified cell report: journal first (a report we
+// cannot persist is not done — the next spawn re-runs it), then the
+// aggregate. Duplicates — a record replayed across a respawn boundary,
+// or a doubled pipe write — are dropped idempotently.
+func (s *supState) ingest(idx int, rep *profiling.RunReport) (dup bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done[idx] {
+		return true, nil
+	}
+	if s.jr != nil {
+		if jerr := s.jr.RecordDone(s.cells[idx], 1, rep); jerr != nil {
+			s.warns = append(s.warns, fmt.Sprintf("cell %s: report not journaled: %v", s.cells[idx].ID, jerr))
+			return false, jerr
+		}
+	}
+	s.done[idx] = true
+	s.cycles += rep.Cycles
+	s.acc.Add(s.cells[idx].ID, rep)
+	s.doneCtr.Inc()
+	if s.opt.Campaign.OnReport != nil {
+		s.opt.Campaign.OnReport(s.cells[idx], rep)
+	}
+	return false, nil
+}
+
+// markFailed records a terminal per-cell failure (worker-reported, or
+// budget exhaustion). The first verdict for a cell wins.
+func (s *supState) markFailed(ce campaign.CellError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := ce.Cell.Index
+	if s.done[idx] {
+		return
+	}
+	if _, ok := s.failed[idx]; ok {
+		return
+	}
+	s.failed[idx] = ce
+	s.failCtr.Inc()
+	if s.jr != nil {
+		if jerr := s.jr.RecordFailed(ce); jerr != nil {
+			s.warns = append(s.warns, fmt.Sprintf("cell %s: failure not journaled: %v", ce.Cell.ID, jerr))
+		}
+	}
+}
+
+// shardRunner supervises one shard ordinal across its spawns.
+type shardRunner struct {
+	st       *supState
+	opt      *Options
+	si       int
+	spec     Spec
+	indices  []int
+	restarts *atomic.Int64
+
+	alive, respawns, cellsDone, hbAge *obs.Gauge
+	restCtr, hangCtr, crashCtr        *obs.Counter
+	tornCtr, dupCtr, orphanCtr        *obs.Counter
+	ingested                          int64
+}
+
+// run is the respawn loop: compute the cells still missing, spawn a
+// worker for exactly those, ingest until the stream ends, classify, and
+// either finish, back off and respawn, or fail the remainder when the
+// budget is spent.
+func (r *shardRunner) run(ctx context.Context) {
+	jitter := sim.NewRNG(r.st.cells[0].Run.Seed ^ shardBackoffLabel).Fork(uint64(r.si) + 1)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		remaining := r.st.remaining(r.indices)
+		if len(remaining) == 0 {
+			return
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		if attempt > r.opt.Retries {
+			r.opt.logf("shard %d: respawn budget exhausted (%d spawns); failing %d remaining cells",
+				r.si, attempt, len(remaining))
+			for _, idx := range remaining {
+				r.st.markFailed(campaign.CellError{
+					Cell:     r.st.cells[idx],
+					Err:      campaign.Transient(fmt.Errorf("shard %d unrecoverable after %d spawns: %v", r.si, attempt, lastErr)),
+					Class:    campaign.ClassTransient,
+					Attempts: attempt,
+				})
+			}
+			return
+		}
+		if attempt > 0 {
+			r.restarts.Add(1)
+			r.restCtr.Inc()
+			r.respawns.Set(float64(attempt))
+			// Seed-derived jittered exponential backoff, the shard
+			// analogue of the per-cell retry schedule: reproducible, and
+			// decorrelated across shards.
+			d := r.opt.RetryBackoff << (attempt - 1)
+			d = d/2 + time.Duration(jitter.Float64()*float64(d))
+			r.opt.logf("shard %d: respawn %d/%d after %v for %d cells (%v)",
+				r.si, attempt, r.opt.Retries, d.Round(time.Millisecond), len(remaining), lastErr)
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		lastErr = r.runOnce(ctx, remaining)
+		if ctx.Err() != nil {
+			return
+		}
+		if lastErr == nil {
+			// Exit 0 but cells missing: the worker (or the pipe) silently
+			// dropped records. Named so the exhaustion message explains it.
+			lastErr = fmt.Errorf("worker exited cleanly with cells missing (torn or dropped records)")
+		}
+	}
+}
+
+// runOnce spawns one worker for the remaining cells and ingests its
+// stream to the end. It returns nil when the worker exited cleanly; the
+// caller decides completion purely from the done/failed ledger, so a
+// clean exit that silently dropped cells is still respawned.
+func (r *shardRunner) runOnce(ctx context.Context, remaining []int) error {
+	spec := r.spec
+	spec.Cells = FormatIndexSet(remaining)
+	conn, err := r.opt.Transport.Start(spec)
+	if err != nil {
+		r.crashCtr.Inc()
+		return fmt.Errorf("spawn: %w", err)
+	}
+	r.opt.logf("shard %d: worker pid %d started for cells %s", r.si, conn.Pid(), spec.Cells)
+	r.alive.Set(1)
+	defer r.alive.Set(0)
+
+	var lastBeat atomic.Int64
+	lastBeat.Store(time.Now().UnixNano())
+	var hung atomic.Bool
+	connDone := make(chan struct{})
+	monDone := make(chan struct{})
+	go r.monitor(ctx, conn, &lastBeat, &hung, connDone, monDone)
+
+	// Ingest: the worker's stdout through the checked record scanner.
+	// Control lines carry protocol (heartbeats, cell headers, failure
+	// verdicts); records carry reports. Anything that fails CRC is
+	// already counted by the scanner — the shard just loses that cell
+	// until the next spawn.
+	assigned := map[int]bool{}
+	for _, idx := range remaining {
+		assigned[idx] = true
+	}
+	pending := -1
+	sc := profiling.NewRecordScanner(conn.Output())
+	sc.Control = func(line string) {
+		lastBeat.Store(time.Now().UnixNano())
+		r.handleControl(line, assigned, &pending)
+	}
+	for {
+		body, _, err := sc.Next()
+		if err != nil {
+			break // EOF or a dead pipe; Wait classifies which
+		}
+		lastBeat.Store(time.Now().UnixNano())
+		r.ingestRecord(body, assigned, &pending)
+	}
+	if n := sc.Skipped(); n > 0 {
+		r.tornCtr.Add(uint64(n))
+		r.opt.logf("shard %d: %d torn/corrupt records dropped", r.si, n)
+	}
+	waitErr := conn.Wait()
+	close(connDone)
+	<-monDone
+
+	switch {
+	case ctx.Err() != nil:
+		return ctx.Err()
+	case hung.Load():
+		return fmt.Errorf("hang: no output for %v, killed", r.opt.HeartbeatTimeout)
+	case waitErr != nil:
+		r.crashCtr.Inc()
+		return fmt.Errorf("crash: %w", waitErr)
+	default:
+		return nil
+	}
+}
+
+// monitor watches one spawned worker from the side: heartbeat-age hang
+// detection while the stream is live, and graceful drain (SIGTERM,
+// bounded wait, SIGKILL) when the campaign is canceled.
+func (r *shardRunner) monitor(ctx context.Context, conn Conn, lastBeat *atomic.Int64, hung *atomic.Bool, connDone, monDone chan struct{}) {
+	defer close(monDone)
+	period := r.opt.HeartbeatTimeout / 8
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-connDone:
+			return
+		case <-ctx.Done():
+			r.opt.logf("shard %d: draining (SIGTERM, %v grace)", r.si, r.opt.DrainTimeout)
+			conn.Terminate()
+			select {
+			case <-connDone:
+			case <-time.After(r.opt.DrainTimeout):
+				r.opt.logf("shard %d: drain deadline passed, SIGKILL", r.si)
+				conn.Kill()
+				<-connDone
+			}
+			return
+		case <-tick.C:
+			age := time.Since(time.Unix(0, lastBeat.Load()))
+			r.hbAge.Set(age.Seconds())
+			if age > r.opt.HeartbeatTimeout {
+				hung.Store(true)
+				r.hangCtr.Inc()
+				r.opt.logf("shard %d: heartbeat age %v exceeds %v — killing wedged worker",
+					r.si, age.Round(time.Millisecond), r.opt.HeartbeatTimeout)
+				conn.Kill()
+				return
+			}
+		}
+	}
+}
+
+// handleControl interprets one "//shard ..." protocol line.
+func (r *shardRunner) handleControl(line string, assigned map[int]bool, pending *int) {
+	c, ok := parseControl(line)
+	if !ok {
+		return
+	}
+	switch c.kind {
+	case "hello":
+		if c.hash != "" && c.hash != r.spec.Hash {
+			// The worker expanded a different matrix; its records would be
+			// mis-seeded. WorkerMain refuses this on its side too — this
+			// is defense in depth against a stale binary.
+			r.opt.logf("shard %d: worker hash %.12s != campaign %.12s; ignoring its records", r.si, c.hash, r.spec.Hash)
+			*pending = -2 // poison: every record orphans
+		}
+	case "cell":
+		if *pending != -2 {
+			*pending = c.idx
+		}
+	case "fail":
+		if !assigned[c.idx] {
+			r.orphanCtr.Inc()
+			return
+		}
+		r.st.markFailed(campaign.CellError{
+			Cell:     r.st.cells[c.idx],
+			Err:      fmt.Errorf("shard %d worker: %s", r.si, c.msg),
+			Class:    campaign.Class(c.class),
+			Attempts: c.attempts,
+		})
+	case "hb", "bye":
+		// Liveness only; lastBeat was already refreshed by the caller.
+	}
+}
+
+// ingestRecord attributes one CRC-verified record to its announced cell
+// and folds it into the campaign ledger. Misattribution cannot slip
+// through: the cell's expansion-time seed must match the report's.
+func (r *shardRunner) ingestRecord(body []byte, assigned map[int]bool, pending *int) {
+	idx := *pending
+	*pending = -1
+	if idx < 0 {
+		r.orphanCtr.Inc()
+		return
+	}
+	rep, err := profiling.ReadRunReport(bytes.NewReader(body))
+	if err != nil {
+		r.tornCtr.Inc()
+		return
+	}
+	if !assigned[idx] || rep.Seed != r.st.cells[idx].Run.Seed {
+		r.orphanCtr.Inc()
+		r.opt.logf("shard %d: dropping record for cell %d (unassigned or seed mismatch)", r.si, idx)
+		return
+	}
+	dup, err := r.st.ingest(idx, rep)
+	if dup {
+		r.dupCtr.Inc()
+		return
+	}
+	if err != nil {
+		return // journaling failed; the cell stays remaining
+	}
+	r.ingested++
+	r.cellsDone.Set(float64(r.ingested))
+}
+
+// ctlMsg is one parsed "//shard ..." control line.
+type ctlMsg struct {
+	kind     string
+	idx      int
+	class    string
+	attempts int
+	msg      string
+	hash     string
+}
+
+// parseControl parses the worker protocol lines. Unknown or malformed
+// lines are not errors — the stream crossed a process boundary and may
+// contain anything; they are simply ignored (and, being control lines,
+// never reach a record body).
+func parseControl(line string) (ctlMsg, bool) {
+	const pfx = "//shard "
+	if !strings.HasPrefix(line, pfx) {
+		return ctlMsg{}, false
+	}
+	f := strings.Fields(line[len(pfx):])
+	if len(f) == 0 {
+		return ctlMsg{}, false
+	}
+	c := ctlMsg{kind: f[0]}
+	switch c.kind {
+	case "hello", "hb", "bye":
+		for _, kv := range f[1:] {
+			if v, ok := strings.CutPrefix(kv, "hash="); ok {
+				c.hash = v
+			}
+		}
+		return c, true
+	case "cell":
+		if len(f) < 2 {
+			return ctlMsg{}, false
+		}
+		idx, err := strconv.Atoi(f[1])
+		if err != nil || idx < 0 {
+			return ctlMsg{}, false
+		}
+		c.idx = idx
+		return c, true
+	case "fail":
+		// fail <idx> <class> <attempts> <quoted message>
+		if len(f) < 5 {
+			return ctlMsg{}, false
+		}
+		idx, err1 := strconv.Atoi(f[1])
+		att, err2 := strconv.Atoi(f[3])
+		q := strings.Index(line, `"`)
+		if err1 != nil || err2 != nil || idx < 0 || q < 0 {
+			return ctlMsg{}, false
+		}
+		msg, err := strconv.Unquote(line[q:])
+		if err != nil {
+			return ctlMsg{}, false
+		}
+		c.idx, c.class, c.attempts, c.msg = idx, f[2], att, msg
+		return c, true
+	}
+	return ctlMsg{}, false
+}

@@ -1,0 +1,582 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+	"repro/internal/profiling"
+)
+
+// testMatrix is 8 cells (2 seeds × 2 SoCs × 1 mix × 2 faults × 1
+// resolution) at a short horizon — small enough that a full sharded
+// determinism sweep stays in test-suite time, structured enough that a
+// wrong seed or a lost cell changes the aggregate.
+func testMatrix() campaign.Matrix {
+	return campaign.Matrix{
+		Name:        "shard-test",
+		Seed:        42,
+		Seeds:       2,
+		SoCs:        []string{"TC1797", "TC1767"},
+		Mixes:       []string{"lean"},
+		Faults:      []string{"clean", "everything"},
+		Resolutions: []uint64{500},
+		Cycles:      20_000,
+	}
+}
+
+func profileJSON(t *testing.T, fp *profiling.FleetProfile) []byte {
+	t.Helper()
+	if fp == nil {
+		t.Fatal("nil fleet profile")
+	}
+	var buf bytes.Buffer
+	if err := fp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// refProfileJSON runs the matrix in-process (the PR3/PR4-proven path)
+// as the byte-identity reference for every sharded run.
+func refProfileJSON(t *testing.T, m campaign.Matrix) []byte {
+	t.Helper()
+	res, err := campaign.Run(context.Background(), m, campaign.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed > 0 {
+		t.Fatalf("reference run failed %d cells: %v", res.Failed, res.Errors)
+	}
+	return profileJSON(t, res.Profile)
+}
+
+// modeTransport execs this test binary as a worker in the given
+// SHARD_TEST_MODE (see TestMain).
+func modeTransport(mode string) *ExecTransport {
+	return &ExecTransport{
+		Argv:   []string{os.Args[0]},
+		Env:    []string{"SHARD_TEST_MODE=" + mode},
+		Stderr: os.Stderr,
+	}
+}
+
+// captureTransport records every spawned spec and connection so tests
+// can kill live workers and audit what a respawn was assigned.
+type captureTransport struct {
+	inner Transport
+	mu    sync.Mutex
+	specs []Spec
+	conns []Conn
+}
+
+func (c *captureTransport) Start(spec Spec) (Conn, error) {
+	conn, err := c.inner.Start(spec)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.specs = append(c.specs, spec)
+	c.conns = append(c.conns, conn)
+	c.mu.Unlock()
+	return conn, nil
+}
+
+// latestConn returns the most recently spawned connection for a shard.
+func (c *captureTransport) latestConn(si int) Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.specs) - 1; i >= 0; i-- {
+		if c.specs[i].Shard == si {
+			return c.conns[i]
+		}
+	}
+	return nil
+}
+
+// shardSpecs returns the spawn specs for one shard, in spawn order.
+func (c *captureTransport) shardSpecs(si int) []Spec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Spec
+	for _, s := range c.specs {
+		if s.Shard == si {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// flakyTransport serves the first badSpawns spawns from bad, the rest
+// from good — the deterministic way to script "worker breaks once, the
+// respawn succeeds".
+type flakyTransport struct {
+	bad, good Transport
+	badSpawns int32
+	n         atomic.Int32
+}
+
+func (f *flakyTransport) Start(spec Spec) (Conn, error) {
+	if f.n.Add(1) <= f.badSpawns {
+		return f.bad.Start(spec)
+	}
+	return f.good.Start(spec)
+}
+
+// TestShardDeterminism is the shards-1-vs-N proof: the global aggregate
+// is byte-identical to the in-process reference for every shard count ×
+// per-shard worker count combination.
+func TestShardDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	m := testMatrix()
+	ref := refProfileJSON(t, m)
+	for _, shards := range []int{1, 2, 8} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				res, err := Run(context.Background(), m, Options{
+					Campaign:  campaign.Options{Workers: workers},
+					Shards:    shards,
+					Transport: modeTransport("worker"),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Failed > 0 || res.Completed != res.Cells {
+					t.Fatalf("completed %d/%d, failed %d: %v", res.Completed, res.Cells, res.Failed, res.Errors)
+				}
+				if got := profileJSON(t, res.Profile); !bytes.Equal(got, ref) {
+					t.Errorf("sharded aggregate differs from in-process reference")
+				}
+			})
+		}
+	}
+}
+
+// TestShardSIGKILLRecovery: a live worker is SIGKILLed mid-flight; the
+// supervisor must classify the crash, respawn with backoff assigning
+// only the non-journaled cells, and still produce the byte-identical
+// aggregate — with the journal holding exactly one "done" per cell.
+func TestShardSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	m := testMatrix()
+	ref := refProfileJSON(t, m)
+	dir := t.TempDir()
+	reg := obs.New()
+	cap := &captureTransport{inner: modeTransport("worker")}
+
+	var killOnce sync.Once
+	opt := Options{
+		Campaign: campaign.Options{
+			Workers:    1,
+			Obs:        reg,
+			JournalDir: dir,
+			OnReport: func(cell campaign.Cell, _ *profiling.RunReport) {
+				// First ingested report from shard 0 (indices 0-3 of 8 at 2
+				// shards): the worker is provably alive and mid-campaign —
+				// kill it now, exactly the harness-SIGKILL the issue demands.
+				if cell.Index < 4 {
+					killOnce.Do(func() {
+						if c := cap.latestConn(0); c != nil {
+							c.Kill()
+						}
+					})
+				}
+			},
+		},
+		Shards:       2,
+		Transport:    cap,
+		Retries:      2,
+		RetryBackoff: 20 * time.Millisecond,
+		Logf:         t.Logf,
+	}
+	res, err := Run(context.Background(), m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed > 0 || res.Completed != res.Cells {
+		t.Fatalf("completed %d/%d, failed %d: %v", res.Completed, res.Cells, res.Failed, res.Errors)
+	}
+	if res.Restarts < 1 {
+		t.Fatalf("SIGKILLed shard produced %d restarts, want >=1", res.Restarts)
+	}
+	if got := profileJSON(t, res.Profile); !bytes.Equal(got, ref) {
+		t.Errorf("aggregate after SIGKILL+recovery differs from undisturbed reference")
+	}
+
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("campaign_shard_restarts"); v < 1 {
+		t.Errorf("campaign_shard_restarts = %d, want >=1", v)
+	}
+	if v, _ := snap.Counter("campaign_shard_crashes"); v < 1 {
+		t.Errorf("campaign_shard_crashes = %d, want >=1", v)
+	}
+	if v, ok := snap.Gauge("campaign_shard00_restarts"); !ok || v < 1 {
+		t.Errorf("campaign_shard00_restarts gauge = %v (present %v), want >=1", v, ok)
+	}
+	if v, _ := snap.Counter("campaign_sessions_done"); v != 8 {
+		t.Errorf("campaign_sessions_done = %d, want 8 (dups must not double-count)", v)
+	}
+
+	// The respawn must be assigned strictly fewer cells: only the ones
+	// not yet journaled done at kill time.
+	specs := cap.shardSpecs(0)
+	if len(specs) < 2 {
+		t.Fatalf("shard 0 spawned %d times, want >=2", len(specs))
+	}
+	first, err := ParseIndexSet(specs[0].Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ParseIndexSet(specs[1].Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) >= len(first) {
+		t.Errorf("respawn re-assigned %d cells of original %d; journaled-done cells must be skipped", len(second), len(first))
+	}
+	firstSet := map[int]bool{}
+	for _, idx := range first {
+		firstSet[idx] = true
+	}
+	for _, idx := range second {
+		if !firstSet[idx] {
+			t.Errorf("respawn assigned cell %d outside shard 0's original range %v", idx, first)
+		}
+	}
+
+	// Journal audit: exactly one "done" entry per cell, none duplicated
+	// by the replayed shard.
+	doneCount := journalDoneCounts(t, dir)
+	for idx := 0; idx < 8; idx++ {
+		if doneCount[idx] != 1 {
+			t.Errorf("journal has %d done entries for cell %d, want exactly 1", doneCount[idx], idx)
+		}
+	}
+}
+
+// journalDoneCounts parses the manifest and counts "done" lines per
+// cell index.
+func journalDoneCounts(t *testing.T, dir string) map[int]int {
+	t.Helper()
+	f, err := os.Open(filepath.Join(dir, campaign.ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	counts := map[int]int{}
+	sc := bufio.NewScanner(f)
+	first := true
+	for sc.Scan() {
+		if first {
+			first = false // header
+			continue
+		}
+		var e struct {
+			Index  int    `json:"index"`
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue
+		}
+		if e.Status == "done" {
+			counts[e.Index]++
+		}
+	}
+	return counts
+}
+
+// TestShardHangRecovery: a worker that says hello and then goes silent
+// must be detected by heartbeat age within the deadline, killed, and
+// replaced by a respawn that completes the shard.
+func TestShardHangRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	m := testMatrix()
+	m.Seeds = 1
+	m.Faults = []string{"clean"} // 2 cells: quick, and hang detection dominates the clock
+	ref := refProfileJSON(t, m)
+	reg := obs.New()
+	start := time.Now()
+	res, err := Run(context.Background(), m, Options{
+		Campaign:         campaign.Options{Workers: 1, Obs: reg},
+		Shards:           1,
+		Transport:        &flakyTransport{bad: modeTransport("hang"), good: modeTransport("worker"), badSpawns: 1},
+		HeartbeatEvery:   50 * time.Millisecond,
+		HeartbeatTimeout: 500 * time.Millisecond,
+		Retries:          2,
+		RetryBackoff:     10 * time.Millisecond,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed > 0 || res.Completed != res.Cells {
+		t.Fatalf("completed %d/%d, failed %d: %v", res.Completed, res.Cells, res.Failed, res.Errors)
+	}
+	if res.Restarts < 1 {
+		t.Fatal("hung shard was not respawned")
+	}
+	if got := profileJSON(t, res.Profile); !bytes.Equal(got, ref) {
+		t.Errorf("aggregate after hang+recovery differs from reference")
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("campaign_shard_hangs"); v < 1 {
+		t.Errorf("campaign_shard_hangs = %d, want >=1", v)
+	}
+	// Detection must happen within (roughly) the deadline, not at some
+	// unbounded later point. Generous factor for loaded CI machines.
+	if waited := time.Since(start); waited > 20*time.Second {
+		t.Errorf("hang recovery took %v", waited)
+	}
+}
+
+// TestShardTornWorkerRecovery: a worker that exits 0 after emitting a
+// torn record delivered nothing; the clean exit must still be treated
+// as an incomplete shard and respawned.
+func TestShardTornWorkerRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	m := testMatrix()
+	m.Seeds = 1
+	m.Faults = []string{"clean"}
+	ref := refProfileJSON(t, m)
+	reg := obs.New()
+	res, err := Run(context.Background(), m, Options{
+		Campaign:     campaign.Options{Workers: 1, Obs: reg},
+		Shards:       1,
+		Transport:    &flakyTransport{bad: modeTransport("torn"), good: modeTransport("worker"), badSpawns: 1},
+		Retries:      2,
+		RetryBackoff: 10 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed > 0 || res.Completed != res.Cells {
+		t.Fatalf("completed %d/%d, failed %d: %v", res.Completed, res.Cells, res.Failed, res.Errors)
+	}
+	if res.Restarts < 1 {
+		t.Fatal("torn shard was not respawned")
+	}
+	if got := profileJSON(t, res.Profile); !bytes.Equal(got, ref) {
+		t.Errorf("aggregate after torn-worker recovery differs from reference")
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("campaign_shard_torn_records"); v < 1 {
+		t.Errorf("campaign_shard_torn_records = %d, want >=1", v)
+	}
+}
+
+// TestShardBudgetExhausted: a shard that crashes on every spawn fails
+// its remaining cells as transient once the respawn budget is spent —
+// the campaign survives and reports, it does not hang or lie.
+func TestShardBudgetExhausted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	m := testMatrix()
+	m.Seeds = 1
+	m.Faults = []string{"clean"}
+	reg := obs.New()
+	res, err := Run(context.Background(), m, Options{
+		Campaign:     campaign.Options{Workers: 1, Obs: reg},
+		Shards:       1,
+		Transport:    modeTransport("crash"),
+		Retries:      1,
+		RetryBackoff: 5 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 || res.Failed != res.Cells {
+		t.Fatalf("completed %d, failed %d of %d; want 0 completed, all failed", res.Completed, res.Failed, res.Cells)
+	}
+	for _, ce := range res.Errors {
+		if ce.Class != campaign.ClassTransient {
+			t.Errorf("cell %s failed as %s, want transient (a healthier fleet could retry it)", ce.Cell.ID, ce.Class)
+		}
+		if !strings.Contains(ce.Err.Error(), "unrecoverable") {
+			t.Errorf("cell %s error does not explain shard exhaustion: %v", ce.Cell.ID, ce.Err)
+		}
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("campaign_shard_crashes"); v < 2 {
+		t.Errorf("campaign_shard_crashes = %d, want >=2 (initial spawn + respawn)", v)
+	}
+}
+
+// TestShardDrainAndResume: cancel drains workers gracefully mid-
+// campaign, and a second sharded run resumes from the journal to the
+// byte-identical aggregate — the cross-process analogue of PR4's
+// interrupt/resume determinism proof.
+func TestShardDrainAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	m := testMatrix()
+	ref := refProfileJSON(t, m)
+	dir := t.TempDir()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var cancelOnce sync.Once
+	res, err := Run(ctx, m, Options{
+		Campaign: campaign.Options{
+			Workers:    1,
+			JournalDir: dir,
+			OnReport: func(campaign.Cell, *profiling.RunReport) {
+				// Cancel as soon as any cell lands: workers are mid-flight.
+				cancelOnce.Do(cancel)
+			},
+		},
+		Shards:       2,
+		Transport:    modeTransport("worker"),
+		DrainTimeout: 10 * time.Second,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Canceled {
+		t.Fatal("canceled campaign not marked canceled")
+	}
+	if res.Completed == 0 {
+		t.Fatal("no cells journaled before cancel; cannot exercise resume")
+	}
+	if res.Completed == res.Cells {
+		t.Skip("campaign finished before drain; nothing left to resume")
+	}
+
+	res2, err := Run(context.Background(), m, Options{
+		Campaign: campaign.Options{
+			Workers:    1,
+			JournalDir: dir,
+			Resume:     true,
+		},
+		Shards:    2,
+		Transport: modeTransport("worker"),
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resumed == 0 {
+		t.Error("resume loaded no journaled cells")
+	}
+	if res2.Failed > 0 || res2.Completed != res2.Cells {
+		t.Fatalf("resume completed %d/%d, failed %d: %v", res2.Completed, res2.Cells, res2.Failed, res2.Errors)
+	}
+	if got := profileJSON(t, res2.Profile); !bytes.Equal(got, ref) {
+		t.Errorf("drain+resume aggregate differs from uninterrupted reference")
+	}
+}
+
+// TestWorkerHashMismatch: a worker whose local expansion disagrees with
+// the supervisor's hash must refuse to run rather than emit mis-seeded
+// records.
+func TestWorkerHashMismatch(t *testing.T) {
+	m := testMatrix()
+	spec, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := WorkerMain([]string{"-cells", "0", "-hash", "not-the-real-hash"},
+		bytes.NewReader(spec), &out, &errb)
+	if code != 2 {
+		t.Fatalf("hash-mismatched worker exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "hash mismatch") {
+		t.Errorf("stderr does not explain the refusal: %q", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("refusing worker still wrote %d bytes of records", out.Len())
+	}
+}
+
+// TestWorkerMainInProcess drives WorkerMain directly over in-memory
+// pipes: records come back verified, attributed, and seeded exactly as
+// the expansion dictates.
+func TestWorkerMainInProcess(t *testing.T) {
+	m := testMatrix()
+	cells, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := WorkerMain([]string{"-cells", "2-3", "-workers", "2", "-hb", "50ms"},
+		bytes.NewReader(spec), &out, &errb)
+	if code != 0 {
+		t.Fatalf("worker exited %d: %s", code, errb.String())
+	}
+	sc := profiling.NewRecordScanner(&out)
+	pending := -1
+	var hello, bye bool
+	got := map[int]*profiling.RunReport{}
+	sc.Control = func(line string) {
+		c, ok := parseControl(line)
+		if !ok {
+			return
+		}
+		switch c.kind {
+		case "hello":
+			hello = true
+		case "bye":
+			bye = true
+		case "cell":
+			pending = c.idx
+		}
+	}
+	for {
+		body, _, err := sc.Next()
+		if err != nil {
+			break
+		}
+		r, err := profiling.ReadRunReport(bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[pending] = r
+		pending = -1
+	}
+	if sc.Skipped() != 0 {
+		t.Errorf("worker stream counted %d skips", sc.Skipped())
+	}
+	if !hello || !bye {
+		t.Errorf("protocol frame incomplete: hello=%v bye=%v", hello, bye)
+	}
+	if len(got) != 2 {
+		t.Fatalf("worker returned %d records, want 2", len(got))
+	}
+	for _, idx := range []int{2, 3} {
+		r := got[idx]
+		if r == nil {
+			t.Fatalf("no record for cell %d", idx)
+		}
+		if r.Seed != cells[idx].Run.Seed {
+			t.Errorf("cell %d record seed %d, want expansion seed %d", idx, r.Seed, cells[idx].Run.Seed)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Worker: the child-process half of a sharded campaign. A worker is
+// handed the full matrix (stdin) plus an index set (argv), re-expands
+// the matrix itself, verifies the expansion hash against the
+// supervisor's, and runs exactly its assigned cells through the same
+// in-process supervisor policy a single-process campaign uses. Every
+// completed report streams back over stdout as a CRC-32-trailed record
+// preceded by a "//shard cell <index>" control line; liveness rides the
+// same stream as periodic "//shard hb" lines. The worker trusts nothing
+// about its own lifetime — SIGTERM drains it gracefully mid-campaign,
+// and anything harsher is the supervisor's problem to detect.
+package shard
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/profiling"
+	"repro/internal/runcfg"
+)
+
+// emitter serializes the worker's stdout: control lines and report
+// records come from concurrent pool workers and the heartbeat
+// goroutine, and a torn interleaving would cost a record (the scanner
+// would drop it as garbage — counted, not fatal, but wasteful).
+type emitter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// control emits one "//shard ..." protocol line.
+func (e *emitter) control(format string, args ...any) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fmt.Fprintf(e.w, "//shard "+format+"\n", args...)
+}
+
+// record emits a completed cell: the index header line, then the
+// checksummed report record, under one lock so nothing interleaves.
+func (e *emitter) record(idx int, r *profiling.RunReport) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := fmt.Fprintf(e.w, "//shard cell %d\n", idx); err != nil {
+		return err
+	}
+	_, err := profiling.AppendSummedRecord(e.w, r)
+	return err
+}
+
+// WorkerMain is the entry point of the hidden "tcfleet shard-worker"
+// subcommand, factored over explicit streams so tests can run it
+// in-process or via a helper binary. It returns the process exit code:
+// 0 on a completed (or gracefully drained) shard — per-cell failures
+// are reported in-band as "fail" lines, not via the exit code — and 2
+// on unusable input (bad flags, unreadable matrix, hash mismatch).
+func WorkerMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("shard-worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	shardNo := fs.Int("shard", 0, "shard ordinal (for logs and protocol lines)")
+	cellSpec := fs.String("cells", "", "cell index set to execute (e.g. 0-3,7,9-12)")
+	workers := fs.Int("workers", 1, "worker pool size inside this shard")
+	hb := fs.Duration("hb", DefaultHeartbeatEvery, "heartbeat period on stdout")
+	hash := fs.String("hash", "", "expected MatrixHash of the expansion (verified)")
+	sup := runcfg.BindSupervise(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := sup.Validate(); err != nil {
+		fmt.Fprintf(stderr, "shard-worker: %v\n", err)
+		return 2
+	}
+
+	m, err := campaign.Read(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "shard-worker: matrix on stdin: %v\n", err)
+		return 2
+	}
+	cells, err := m.Expand()
+	if err != nil {
+		fmt.Fprintf(stderr, "shard-worker: %v\n", err)
+		return 2
+	}
+	got := campaign.MatrixHash(cells)
+	if *hash != "" && got != *hash {
+		// The supervisor and this worker expanded different campaigns —
+		// running would poison the aggregate with mis-seeded cells.
+		fmt.Fprintf(stderr, "shard-worker: matrix hash mismatch: supervisor %.12s, local expansion %.12s\n", *hash, got)
+		return 2
+	}
+	indices, err := ParseIndexSet(*cellSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "shard-worker: %v\n", err)
+		return 2
+	}
+	subset := make([]campaign.Cell, 0, len(indices))
+	for _, idx := range indices {
+		if idx < 0 || idx >= len(cells) {
+			fmt.Fprintf(stderr, "shard-worker: cell index %d outside expansion (%d cells)\n", idx, len(cells))
+			return 2
+		}
+		subset = append(subset, cells[idx])
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	em := &emitter{w: stdout}
+	var done atomic.Int64
+	em.control("hello v=%d shard=%d cells=%d hash=%s", ProtocolVersion, *shardNo, len(subset), got)
+
+	// Heartbeat: proof of life between records, so the supervisor can
+	// tell "long cell" from "wedged process".
+	hbDone := make(chan struct{})
+	hbStopped := make(chan struct{})
+	go func() {
+		defer close(hbStopped)
+		period := *hb
+		if period <= 0 {
+			period = DefaultHeartbeatEvery
+		}
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbDone:
+				return
+			case <-t.C:
+				em.control("hb done=%d", done.Load())
+			}
+		}
+	}()
+
+	res, err := campaign.RunCells(ctx, subset, campaign.Options{
+		Workers:     *workers,
+		CellTimeout: sup.CellTimeout,
+		Retries:     sup.Retries,
+		OnReport: func(cell campaign.Cell, r *profiling.RunReport) {
+			// A write error means the supervisor end of the pipe is gone;
+			// the remaining cells would be wasted work, but tearing down
+			// from here races the pool, so just stop counting — the exit
+			// path will fail on the bye line too and the supervisor's
+			// journal never saw these cells, so nothing is lost.
+			if werr := em.record(cell.Index, r); werr == nil {
+				done.Add(1)
+			}
+		},
+	})
+	close(hbDone)
+	<-hbStopped
+	if err != nil {
+		fmt.Fprintf(stderr, "shard-worker: %v\n", err)
+		return 2
+	}
+	for _, ce := range res.Errors {
+		em.control("fail %d %s %d %q", ce.Cell.Index, ce.Class, ce.Attempts, ce.Err.Error())
+	}
+	em.control("bye done=%d failed=%d", done.Load(), len(res.Errors))
+	return 0
+}

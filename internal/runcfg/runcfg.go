@@ -160,6 +160,63 @@ func BindSupervise(fs *flag.FlagSet) *Supervise {
 	return s
 }
 
+// Shard is the shared knob set of the sharded campaign supervisor: how
+// many worker processes a campaign splits across and how paranoid the
+// supervision is. Zero values defer to the shard package's defaults
+// (runcfg stays import-cycle-free below campaign/shard), except Shards,
+// where 0 means "run in-process, unsharded".
+type Shard struct {
+	// Shards is the number of worker processes; 0 or 1 runs the campaign
+	// in-process.
+	Shards int
+	// HeartbeatEvery is the worker heartbeat period (0 = shard default).
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout is the hang deadline after which a silent worker
+	// is killed and respawned (0 = shard default).
+	HeartbeatTimeout time.Duration
+	// ShardRetries is the respawn budget per shard (-1 = shard default).
+	ShardRetries int
+	// DrainTimeout bounds graceful drain on cancel before SIGKILL
+	// (0 = shard default).
+	DrainTimeout time.Duration
+}
+
+// Validate checks the shard supervision configuration.
+func (s Shard) Validate() error {
+	if s.Shards < 0 {
+		return fmt.Errorf("runcfg: negative shard count %d", s.Shards)
+	}
+	if s.HeartbeatEvery < 0 || s.HeartbeatTimeout < 0 || s.DrainTimeout < 0 {
+		return fmt.Errorf("runcfg: negative shard supervision duration")
+	}
+	if s.ShardRetries < -1 {
+		return fmt.Errorf("runcfg: bad shard respawn budget %d", s.ShardRetries)
+	}
+	if s.HeartbeatEvery > 0 && s.HeartbeatTimeout > 0 && s.HeartbeatTimeout <= s.HeartbeatEvery {
+		return fmt.Errorf("runcfg: shard hang deadline %v must exceed the heartbeat period %v",
+			s.HeartbeatTimeout, s.HeartbeatEvery)
+	}
+	return nil
+}
+
+// BindShard registers the shard supervision flag subset (-shards, -hb,
+// -hbtimeout, -shardretries, -draintimeout) on fs and returns the
+// destination. Call fs.Parse, then Validate.
+func BindShard(fs *flag.FlagSet) *Shard {
+	s := &Shard{ShardRetries: -1}
+	fs.IntVar(&s.Shards, "shards", 0,
+		"split the campaign across N crash-supervised worker processes (0 = in-process)")
+	fs.DurationVar(&s.HeartbeatEvery, "hb", 0,
+		"shard worker heartbeat period (0 = default)")
+	fs.DurationVar(&s.HeartbeatTimeout, "hbtimeout", 0,
+		"shard hang deadline: a worker silent this long is killed and respawned (0 = default)")
+	fs.IntVar(&s.ShardRetries, "shardretries", -1,
+		"respawn budget per shard before its remaining cells fail (-1 = default)")
+	fs.DurationVar(&s.DrainTimeout, "draintimeout", 0,
+		"graceful drain bound on cancel: SIGTERM, wait this long, then SIGKILL (0 = default)")
+	return s
+}
+
 // Prof is the shared host-profiling knob set: pprof capture of the
 // simulator process itself (not the simulated SoC). Every CLI that can
 // burn minutes of host CPU exposes the same two flags with the same
