@@ -13,7 +13,7 @@
 //	            [-workers N] [-celltimeout D] [-retries N] [-journal dir]
 //	            [-shards N] [-hbtimeout D] [-shardretries N] [-allow-partial]
 //	            [-json] [-out fleet.json] [-outdir reports/]
-//	            [-trace spans.json] [-metrics :addr]
+//	            [-trace spans.json] [-metrics :addr] [-events events.jsonl]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	tcfleet run -resume dir [-workers N] [-celltimeout D] [-retries N] [flags]
 //
@@ -33,6 +33,16 @@
 // only their non-journaled cells), and produces the same byte-identical
 // aggregate as an in-process run.
 //
+// With -metrics ADDR the run serves its live telemetry over HTTP for
+// its duration: /metrics (JSON snapshot), /metrics/prom (Prometheus
+// text exposition), /status (the campaign scoreboard: per-cell state,
+// per-shard liveness, throughput and ETA), and /events (a Server-Sent
+// Events stream of the flight recorder). ":0" binds an ephemeral port;
+// the actual address is printed to stderr. -events persists the flight
+// recorder as JSONL at exit; -trace writes a Chrome trace that, for
+// sharded runs, stitches every worker's spans into the supervisor's
+// timeline (one pid row per shard).
+//
 // A campaign that finishes with permanently-failed cells exits nonzero
 // so CI and scripts cannot mistake a partial aggregate for a complete
 // one; -allow-partial restores the old exit-0 behavior.
@@ -43,7 +53,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -184,8 +193,8 @@ func runCampaign(args []string) error {
 	jsonOut := fs.Bool("json", false, "print the fleet profile as JSON instead of tables")
 	outPath := fs.String("out", "", "write the fleet profile JSON to this file")
 	outDir := fs.String("outdir", "", "write each cell's run report into this directory as it completes")
-	tracePath := fs.String("trace", "", "write the campaign phases as a Chrome trace")
-	metricsAddr := fs.String("metrics", "", "serve live campaign metrics at http://ADDR/metrics for the duration of the run")
+	tel := runcfg.BindTelemetry(fs)
+	runcfg.BindTelemetryEvents(fs, tel)
 	hostProf := runcfg.BindProf(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -282,8 +291,17 @@ func runCampaign(args []string) error {
 	case *journalDir != "":
 		opt.JournalDir = *journalDir
 	}
-	if *tracePath != "" {
+	if tel.TracePath != "" {
 		opt.Tracer = obs.NewTracer()
+	}
+	// The scoreboard and flight recorder exist exactly when someone can
+	// observe them: a live endpoint or an -events file. They observe the
+	// campaign from the side — a telemetry-off run executes the same code
+	// through nil receivers.
+	var events *obs.EventLog
+	if tel.MetricsAddr != "" || tel.EventsPath != "" {
+		events = obs.NewEventLog(obs.DefaultEventLogSize)
+		opt.Status = campaign.NewStatus(events)
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -297,16 +315,20 @@ func runCampaign(args []string) error {
 			}
 		}
 	}
-	if *metricsAddr != "" {
-		ln, err := net.Listen("tcp", *metricsAddr)
-		if err != nil {
-			return fmt.Errorf("metrics endpoint: %w", err)
-		}
-		defer ln.Close()
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", opt.Obs)
-		go http.Serve(ln, mux)
-		fmt.Fprintf(os.Stderr, "tcfleet: metrics at http://%s/metrics\n", ln.Addr())
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", opt.Obs)
+	mux.Handle("/metrics/prom", opt.Obs.PromHandler())
+	mux.Handle("/status", opt.Status)
+	mux.Handle("/events", events.SSEHandler(0))
+	telAddr, closeTel, err := tel.Serve(mux)
+	if err != nil {
+		return err
+	}
+	defer closeTel()
+	if telAddr != "" {
+		// The actual bound address, not the flag value: with ":0" this
+		// line is how scripts learn the ephemeral port.
+		fmt.Fprintf(os.Stderr, "tcfleet: telemetry at http://%s  (/metrics /metrics/prom /status /events)\n", telAddr)
 	}
 
 	fmt.Fprintf(os.Stderr, "tcfleet: campaign %q: %d cells\n", m.Name, m.Size())
@@ -357,6 +379,9 @@ func runCampaign(args []string) error {
 	if res2.Restarts > 0 {
 		status += fmt.Sprintf(" (%d shard respawns)", res2.Restarts)
 	}
+	if res2.Torn > 0 || res2.Dup > 0 {
+		status += fmt.Sprintf(" (%d torn, %d dup records)", res2.Torn, res2.Dup)
+	}
 	if res2.Canceled {
 		status = " (canceled — partial aggregate"
 		if opt.JournalDir != "" {
@@ -371,11 +396,17 @@ func runCampaign(args []string) error {
 	if res2.Profile == nil {
 		return fmt.Errorf("no sessions completed")
 	}
-	if *tracePath != "" {
-		if err := writeFile(*tracePath, opt.Tracer.WriteChromeTrace); err != nil {
+	if tel.TracePath != "" {
+		if err := writeFile(tel.TracePath, opt.Tracer.WriteChromeTrace); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "tcfleet: campaign trace written to %s\n", *tracePath)
+		fmt.Fprintf(os.Stderr, "tcfleet: campaign trace written to %s\n", tel.TracePath)
+	}
+	if tel.EventsPath != "" {
+		if err := writeFile(tel.EventsPath, events.WriteJSONL); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tcfleet: campaign events written to %s\n", tel.EventsPath)
 	}
 	if err := emit(res2.Profile, *jsonOut, *outPath, func() { printProfile(res2.Profile, 0) }); err != nil {
 		return err

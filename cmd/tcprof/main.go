@@ -22,7 +22,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -62,8 +61,7 @@ func run() error {
 	diagnose := flag.Float64("diagnose", 0, "diagnose windows with IPC below this threshold")
 	plot := flag.Bool("plot", false, "render each parameter's timeline as a sparkline")
 	jsonPath := flag.String("json", "", "write the versioned machine-readable run report (aggregate with tcfleet)")
-	tracePath := flag.String("trace", "", "write the pipeline phases as a Chrome trace (load in about://tracing)")
-	metricsAddr := flag.String("metrics", "", "serve live pipeline metrics at http://ADDR/metrics for the duration of the run")
+	tel := runcfg.BindTelemetry(flag.CommandLine)
 	hostProf := runcfg.BindProf(flag.CommandLine)
 	flag.Parse()
 
@@ -100,10 +98,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if *jsonPath != "" || *metricsAddr != "" {
+	if *jsonPath != "" || tel.MetricsAddr != "" {
 		profSpec.Obs = obs.New()
 	}
-	if *tracePath != "" {
+	if tel.TracePath != "" {
 		profSpec.Tracer = obs.NewTracer()
 	}
 	sess := profiling.NewSession(s, profSpec)
@@ -111,16 +109,16 @@ func run() error {
 		sess.CPUObs().FlowTrace = true
 	}
 
-	if *metricsAddr != "" {
-		ln, err := net.Listen("tcp", *metricsAddr)
-		if err != nil {
-			return fmt.Errorf("metrics endpoint: %w", err)
-		}
-		defer ln.Close()
+	if tel.MetricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", profSpec.Obs)
-		go http.Serve(ln, mux)
-		fmt.Printf("metrics: serving http://%s/metrics\n", ln.Addr())
+		mux.Handle("/metrics/prom", profSpec.Obs.PromHandler())
+		addr, closeTel, err := tel.Serve(mux)
+		if err != nil {
+			return err
+		}
+		defer closeTel()
+		fmt.Printf("metrics: serving http://%s/metrics (and /metrics/prom)\n", addr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -234,11 +232,11 @@ func run() error {
 		}
 		fmt.Printf("run report written to %s\n", *jsonPath)
 	}
-	if *tracePath != "" {
-		if err := writeFile(*tracePath, profSpec.Tracer.WriteChromeTrace); err != nil {
+	if tel.TracePath != "" {
+		if err := writeFile(tel.TracePath, profSpec.Tracer.WriteChromeTrace); err != nil {
 			return err
 		}
-		fmt.Printf("pipeline trace written to %s\n", *tracePath)
+		fmt.Printf("pipeline trace written to %s\n", tel.TracePath)
 	}
 	return nil
 }

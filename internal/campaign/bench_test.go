@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // benchMatrix is the BENCH_pr3 scaling matrix: 8 independent sessions
@@ -38,6 +40,39 @@ func BenchmarkCampaignJournal(b *testing.B) {
 				opt := Options{Workers: 4}
 				if journal {
 					opt.JournalDir = b.TempDir()
+				}
+				res, err := Run(context.Background(), m, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed != res.Cells {
+					b.Fatalf("completed %d of %d", res.Completed, res.Cells)
+				}
+				b.ReportMetric(float64(res.SimCycles)/res.Wall.Seconds(), "simcycles/s")
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignTelemetry measures the full telemetry plane's
+// overhead on a clean campaign (the BENCH_pr7 comparison): with
+// telemetry=on every cell transition goes through the obs registry, the
+// tracer, the Status scoreboard, and the flight-recorder ring; it must
+// stay within the ≤5% envelope of the telemetry=off (all-nil) run.
+func BenchmarkCampaignTelemetry(b *testing.B) {
+	m := benchMatrix()
+	for _, on := range []bool{false, true} {
+		name := "telemetry=off"
+		if on {
+			name = "telemetry=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := Options{Workers: 4}
+				if on {
+					opt.Obs = obs.New()
+					opt.Tracer = obs.NewTracer()
+					opt.Status = NewStatus(obs.NewEventLog(obs.DefaultEventLogSize))
 				}
 				res, err := Run(context.Background(), m, opt)
 				if err != nil {

@@ -47,6 +47,11 @@ type Options struct {
 	// attempt and jittered from the cell's forked RNG. 0 means
 	// DefaultRetryBackoff.
 	RetryBackoff time.Duration
+	// Status, when set, receives live campaign state transitions (cell
+	// state machine, shard lifecycle) for the /status endpoint and the
+	// flight-recorder event log. Nil disables the scoreboard; it never
+	// influences execution or the aggregate.
+	Status *Status
 	// JournalDir, when set, write-ahead journals the campaign into this
 	// directory: every completed report persisted atomically with a
 	// CRC-32 trailer, plus a campaign.journal manifest of per-cell
@@ -70,6 +75,8 @@ type Result struct {
 	Resumed   int           // journaled-complete cells skipped by Resume
 	Retried   int           // total extra attempts across all cells
 	Restarts  int           // shard worker respawns (sharded campaigns only)
+	Torn      int           // torn/corrupt records dropped at ingest (sharded campaigns only)
+	Dup       int           // duplicate records dropped idempotently (sharded campaigns only)
 	Canceled  bool          // the context fired before all cells ran
 	SimCycles uint64        // total simulated cycles across completed sessions
 	Wall      time.Duration // wall-clock duration of the execute phase
@@ -153,6 +160,7 @@ func Run(ctx context.Context, m Matrix, opt Options) (*Result, error) {
 	}
 	res := &Result{Cells: len(cells)}
 	opt.Obs.Counter("campaign_cells_total").Add(uint64(len(cells)))
+	opt.Status.Begin(m.Name, cells)
 
 	acc := profiling.NewAccumulator()
 	var simCycles0 uint64
@@ -177,6 +185,7 @@ func Run(ctx context.Context, m Matrix, opt Options) (*Result, error) {
 						resumeSkips.Inc()
 						res.Resumed++
 						simCycles0 += rep.Cycles
+						opt.Status.CellResumedFromJournal(cell.Index, rep.Cycles)
 						continue
 					}
 					pending = append(pending, cell)
@@ -289,6 +298,7 @@ func executeCells(ctx context.Context, pending []Cell, opt Options, jr *Journal,
 					}
 					acc.Add(cell.ID, report)
 					doneCtr.Inc()
+					opt.Status.CellCompleted(cell.Index, report.Cycles)
 					mu.Lock()
 					simCycles += report.Cycles
 					cy := simCycles
@@ -303,6 +313,7 @@ func executeCells(ctx context.Context, pending []Cell, opt Options, jr *Journal,
 				default:
 					failCtr.Inc()
 					ce := newCellError(cell, err, attempts)
+					opt.Status.CellFailedTerminally(cell.Index, ce.Class, err)
 					if jr != nil {
 						if jerr := jr.RecordFailed(ce); jerr != nil {
 							mu.Lock()

@@ -163,6 +163,10 @@ type Spec struct {
 	Workers int           // in-process worker pool size inside the shard
 	Hash    string        // MatrixHash of the full expansion; worker re-verifies
 	HB      time.Duration // heartbeat period the worker must honor
+	// Spans asks the worker to trace its campaign spans and stream them
+	// back as "//shard span" lines at drain, for cross-process trace
+	// stitching.
+	Spans bool
 
 	// Per-cell supervision, forwarded into the worker's campaign.RunCells.
 	CellTimeout time.Duration
@@ -180,6 +184,9 @@ func (s Spec) Args() []string {
 	}
 	if s.Hash != "" {
 		args = append(args, "-hash", s.Hash)
+	}
+	if s.Spans {
+		args = append(args, "-spans")
 	}
 	if s.CellTimeout > 0 {
 		args = append(args, "-celltimeout", s.CellTimeout.String())

@@ -145,6 +145,9 @@ func TestParseControl(t *testing.T) {
 		{`//shard fail 4 permanent 2 "bad preset \"X\""`, true,
 			ctlMsg{kind: "fail", idx: 4, class: "permanent", attempts: 2, msg: `bad preset "X"`}},
 		{"//shard bye done=4 failed=1", true, ctlMsg{kind: "bye"}},
+		{`//shard span {"n":"cell:x","c":"session","s":12345,"d":678}`, true,
+			ctlMsg{kind: "span", msg: `{"n":"cell:x","c":"session","s":12345,"d":678}`}},
+		{"//shard span", false, ctlMsg{}},
 		{"//shard cell", false, ctlMsg{}},
 		{"//shard cell -3", false, ctlMsg{}},
 		{"//shard fail 4 permanent", false, ctlMsg{}},
@@ -234,10 +237,10 @@ func keys(m map[int]*profiling.RunReport) []int {
 func TestSpecArgs(t *testing.T) {
 	s := Spec{
 		Shard: 2, Shards: 4, Cells: "4-7", Workers: 3, Hash: "abc",
-		HB: 250 * time.Millisecond, CellTimeout: time.Second, Retries: 1,
+		HB: 250 * time.Millisecond, Spans: true, CellTimeout: time.Second, Retries: 1,
 	}
 	args := strings.Join(s.Args(), " ")
-	for _, want := range []string{"-shard 2", "-cells 4-7", "-workers 3", "-hb 250ms", "-hash abc", "-celltimeout 1s", "-retries 1"} {
+	for _, want := range []string{"-shard 2", "-cells 4-7", "-workers 3", "-hb 250ms", "-hash abc", "-spans", "-celltimeout 1s", "-retries 1"} {
 		if !strings.Contains(args, want) {
 			t.Errorf("Spec.Args() = %q, missing %q", args, want)
 		}

@@ -92,10 +92,19 @@ type supState struct {
 	warns  []string
 	cycles uint64
 
+	// torn/dup accumulate across all runners for Result — the record
+	// anomalies an operator wants in the post-mortem summary without
+	// scraping the obs endpoint.
+	torn, dup atomic.Int64
+
 	opt     *Options
 	doneCtr *obs.Counter
 	failCtr *obs.Counter
 }
+
+// shardTracePid maps a shard ordinal to its pid row in the stitched
+// Chrome trace; pid 1 is the supervisor itself.
+func shardTracePid(si int) int { return si + 2 }
 
 // Run expands the matrix, splits it across opt.Shards worker processes,
 // and supervises them to completion. It is the sharded analogue of
@@ -143,6 +152,7 @@ func Run(ctx context.Context, m campaign.Matrix, opt Options) (*campaign.Result,
 	hash := campaign.MatrixHash(cells)
 	res := &campaign.Result{Cells: len(cells)}
 	reg.Counter("campaign_cells_total").Add(uint64(len(cells)))
+	opt.Campaign.Status.Begin(m.Name, cells)
 
 	st := &supState{
 		cells:   cells,
@@ -170,6 +180,7 @@ func Run(ctx context.Context, m campaign.Matrix, opt Options) (*campaign.Result,
 					st.cycles += rep.Cycles
 					skips.Inc()
 					res.Resumed++
+					opt.Campaign.Status.CellResumedFromJournal(idx, rep.Cycles)
 				}
 			}
 		} else {
@@ -189,6 +200,15 @@ func Run(ctx context.Context, m campaign.Matrix, opt Options) (*campaign.Result,
 	res.Workers = workers
 
 	assign := Split(len(cells), shards)
+	// Trace stitching: the supervisor is pid 1; each shard ordinal gets
+	// its own pid row (si+2), stable across respawns, so the merged
+	// Chrome trace shows one timeline of supervisor + every worker.
+	if tr != nil {
+		tr.SetProcessName(1, "tcfleet supervisor")
+		for si := range assign {
+			tr.SetProcessName(shardTracePid(si), fmt.Sprintf("shard %d", si))
+		}
+	}
 	execSpan := tr.Start("execute", "campaign")
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -202,6 +222,7 @@ func Run(ctx context.Context, m campaign.Matrix, opt Options) (*campaign.Result,
 				spec: Spec{
 					Shard: si, Shards: len(assign), Matrix: matrixJSON,
 					Workers: workers, Hash: hash, HB: opt.HeartbeatEvery,
+					Spans:       tr != nil,
 					CellTimeout: opt.Campaign.CellTimeout, Retries: opt.Campaign.Retries,
 				},
 				indices:   indices,
@@ -228,6 +249,8 @@ func Run(ctx context.Context, m campaign.Matrix, opt Options) (*campaign.Result,
 	res.Canceled = ctx.Err() != nil
 	res.Completed = st.acc.Len()
 	res.Restarts = int(restarts.Load())
+	res.Torn = int(st.torn.Load())
+	res.Dup = int(st.dup.Load())
 	res.SimCycles = st.cycles
 	res.Warnings = st.warns
 	errs := make([]campaign.CellError, 0, len(st.failed))
@@ -287,6 +310,7 @@ func (s *supState) ingest(idx int, rep *profiling.RunReport) (dup bool, err erro
 	s.cycles += rep.Cycles
 	s.acc.Add(s.cells[idx].ID, rep)
 	s.doneCtr.Inc()
+	s.opt.Campaign.Status.CellCompleted(idx, rep.Cycles)
 	if s.opt.Campaign.OnReport != nil {
 		s.opt.Campaign.OnReport(s.cells[idx], rep)
 	}
@@ -307,6 +331,7 @@ func (s *supState) markFailed(ce campaign.CellError) {
 	}
 	s.failed[idx] = ce
 	s.failCtr.Inc()
+	s.opt.Campaign.Status.CellFailedTerminally(idx, ce.Class, ce.Err)
 	if s.jr != nil {
 		if jerr := s.jr.RecordFailed(ce); jerr != nil {
 			s.warns = append(s.warns, fmt.Sprintf("cell %s: failure not journaled: %v", ce.Cell.ID, jerr))
@@ -376,7 +401,7 @@ func (r *shardRunner) run(ctx context.Context) {
 			case <-t.C:
 			}
 		}
-		lastErr = r.runOnce(ctx, remaining)
+		lastErr = r.runOnce(ctx, attempt, remaining)
 		if ctx.Err() != nil {
 			return
 		}
@@ -392,7 +417,7 @@ func (r *shardRunner) run(ctx context.Context) {
 // stream to the end. It returns nil when the worker exited cleanly; the
 // caller decides completion purely from the done/failed ledger, so a
 // clean exit that silently dropped cells is still respawned.
-func (r *shardRunner) runOnce(ctx context.Context, remaining []int) error {
+func (r *shardRunner) runOnce(ctx context.Context, attempt int, remaining []int) error {
 	spec := r.spec
 	spec.Cells = FormatIndexSet(remaining)
 	conn, err := r.opt.Transport.Start(spec)
@@ -403,6 +428,9 @@ func (r *shardRunner) runOnce(ctx context.Context, remaining []int) error {
 	r.opt.logf("shard %d: worker pid %d started for cells %s", r.si, conn.Pid(), spec.Cells)
 	r.alive.Set(1)
 	defer r.alive.Set(0)
+	status := r.opt.Campaign.Status
+	status.ShardSpawned(r.si, conn.Pid(), attempt, len(remaining))
+	status.CellsAssigned(r.si, remaining)
 
 	var lastBeat atomic.Int64
 	lastBeat.Store(time.Now().UnixNano())
@@ -424,6 +452,7 @@ func (r *shardRunner) runOnce(ctx context.Context, remaining []int) error {
 	sc := profiling.NewRecordScanner(conn.Output())
 	sc.Control = func(line string) {
 		lastBeat.Store(time.Now().UnixNano())
+		status.ShardBeat(r.si)
 		r.handleControl(line, assigned, &pending)
 	}
 	for {
@@ -432,10 +461,13 @@ func (r *shardRunner) runOnce(ctx context.Context, remaining []int) error {
 			break // EOF or a dead pipe; Wait classifies which
 		}
 		lastBeat.Store(time.Now().UnixNano())
+		status.ShardBeat(r.si)
 		r.ingestRecord(body, assigned, &pending)
 	}
 	if n := sc.Skipped(); n > 0 {
 		r.tornCtr.Add(uint64(n))
+		r.st.torn.Add(int64(n))
+		status.ShardAnomaly(r.si, "torn_records", fmt.Sprintf("%d torn/corrupt records dropped", n))
 		r.opt.logf("shard %d: %d torn/corrupt records dropped", r.si, n)
 	}
 	waitErr := conn.Wait()
@@ -444,13 +476,17 @@ func (r *shardRunner) runOnce(ctx context.Context, remaining []int) error {
 
 	switch {
 	case ctx.Err() != nil:
+		status.ShardDown(r.si, "drained")
 		return ctx.Err()
 	case hung.Load():
+		status.ShardDown(r.si, "hang")
 		return fmt.Errorf("hang: no output for %v, killed", r.opt.HeartbeatTimeout)
 	case waitErr != nil:
 		r.crashCtr.Inc()
+		status.ShardDown(r.si, "crash")
 		return fmt.Errorf("crash: %w", waitErr)
 	default:
+		status.ShardDown(r.si, "clean exit")
 		return nil
 	}
 }
@@ -526,6 +562,14 @@ func (r *shardRunner) handleControl(line string, assigned map[int]bool, pending 
 			Class:    campaign.Class(c.class),
 			Attempts: c.attempts,
 		})
+	case "span":
+		if *pending == -2 {
+			return // hash-poisoned worker: its spans describe a different campaign
+		}
+		var sp obs.SpanExport
+		if json.Unmarshal([]byte(c.msg), &sp) == nil {
+			r.opt.Campaign.Tracer.IngestSpan(shardTracePid(r.si), sp)
+		}
 	case "hb", "bye":
 		// Liveness only; lastBeat was already refreshed by the caller.
 	}
@@ -544,6 +588,7 @@ func (r *shardRunner) ingestRecord(body []byte, assigned map[int]bool, pending *
 	rep, err := profiling.ReadRunReport(bytes.NewReader(body))
 	if err != nil {
 		r.tornCtr.Inc()
+		r.st.torn.Add(1)
 		return
 	}
 	if !assigned[idx] || rep.Seed != r.st.cells[idx].Run.Seed {
@@ -554,6 +599,8 @@ func (r *shardRunner) ingestRecord(body []byte, assigned map[int]bool, pending *
 	dup, err := r.st.ingest(idx, rep)
 	if dup {
 		r.dupCtr.Inc()
+		r.st.dup.Add(1)
+		r.opt.Campaign.Status.ShardAnomaly(r.si, "dup_record", fmt.Sprintf("cell %d replayed across a respawn boundary", idx))
 		return
 	}
 	if err != nil {
@@ -604,6 +651,16 @@ func parseControl(line string) (ctlMsg, bool) {
 			return ctlMsg{}, false
 		}
 		c.idx = idx
+		return c, true
+	case "span":
+		// span <compact JSON object> — the payload is the rest of the
+		// line verbatim (json.Marshal never emits spaces that matter, but
+		// splitting on fields would still mangle string values).
+		payload := strings.TrimSpace(strings.TrimPrefix(line[len(pfx):], "span"))
+		if payload == "" {
+			return ctlMsg{}, false
+		}
+		c.msg = payload
 		return c, true
 	case "fail":
 		// fail <idx> <class> <attempts> <quoted message>

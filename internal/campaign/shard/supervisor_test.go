@@ -489,6 +489,111 @@ func TestShardDrainAndResume(t *testing.T) {
 	}
 }
 
+// TestShardSpanStitching: a sharded run with a tracer yields ONE
+// coherent Chrome trace — the supervisor's campaign phases on pid 1 and
+// every worker's spans on that shard's own pid row (si+2), with
+// process_name metadata labeling each row. The telemetry plane must
+// also leave the aggregate byte-identical, and the live Status
+// scoreboard must account for every cell and shard.
+func TestShardSpanStitching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	m := testMatrix()
+	ref := refProfileJSON(t, m)
+	tr := obs.NewTracer()
+	ev := obs.NewEventLog(1024)
+	status := campaign.NewStatus(ev)
+	const shards = 2
+	res, err := Run(context.Background(), m, Options{
+		Campaign:  campaign.Options{Workers: 2, Tracer: tr, Status: status},
+		Shards:    shards,
+		Transport: modeTransport("worker"),
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed > 0 || res.Completed != res.Cells {
+		t.Fatalf("completed %d/%d, failed %d: %v", res.Completed, res.Cells, res.Failed, res.Errors)
+	}
+	if got := profileJSON(t, res.Profile); !bytes.Equal(got, ref) {
+		t.Errorf("traced sharded aggregate differs from reference (telemetry must not perturb)")
+	}
+
+	ct := tr.Trace()
+	procNames := map[int]string{}
+	spansByPid := map[int]int{}
+	cellSpans := 0
+	for _, e := range ct.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "process_name" {
+				procNames[e.Pid] = e.Args["name"]
+			}
+		case "X":
+			spansByPid[e.Pid]++
+			if strings.HasPrefix(e.Name, "cell:") {
+				cellSpans++
+			}
+		}
+	}
+	for pid := 1; pid <= shards+1; pid++ {
+		if procNames[pid] == "" {
+			t.Errorf("no process_name metadata for pid %d (have %v)", pid, procNames)
+		}
+		if spansByPid[pid] == 0 {
+			t.Errorf("no spans on pid row %d: %v", pid, spansByPid)
+		}
+	}
+	if cellSpans != res.Cells {
+		t.Errorf("stitched trace has %d cell spans, want one per cell (%d)", cellSpans, res.Cells)
+	}
+	// Supervisor phases stay on pid 1.
+	names := map[string]bool{}
+	for _, e := range ct.TraceEvents {
+		if e.Ph == "X" && e.Pid == 1 {
+			names[e.Name] = true
+		}
+	}
+	for _, phase := range []string{"expand", "execute", "aggregate"} {
+		if !names[phase] {
+			t.Errorf("supervisor phase %q missing from pid 1", phase)
+		}
+	}
+
+	// The scoreboard agrees with the result.
+	snap := status.Snapshot()
+	if snap.Done != res.Cells || snap.Running != 0 || snap.Pending != 0 {
+		t.Errorf("status snapshot = %+v, want all %d cells done", snap, res.Cells)
+	}
+	if len(snap.Shards) != shards {
+		t.Fatalf("status tracks %d shards, want %d", len(snap.Shards), shards)
+	}
+	for _, sh := range snap.Shards {
+		if sh.Alive {
+			t.Errorf("shard %d still alive after campaign end", sh.Shard)
+		}
+		if sh.PID == 0 {
+			t.Errorf("shard %d has no recorded pid", sh.Shard)
+		}
+	}
+	// And the flight recorder saw the lifecycle.
+	kinds := map[string]int{}
+	for _, e := range ev.Snapshot().Events {
+		kinds[e.Kind]++
+	}
+	if kinds["shard_spawn"] != shards {
+		t.Errorf("flight recorder has %d shard_spawn events, want %d", kinds["shard_spawn"], shards)
+	}
+	if kinds["cell_done"] != res.Cells {
+		t.Errorf("flight recorder has %d cell_done events, want %d", kinds["cell_done"], res.Cells)
+	}
+	if kinds["shard_down"] != shards {
+		t.Errorf("flight recorder has %d shard_down events, want %d", kinds["shard_down"], shards)
+	}
+}
+
 // TestWorkerHashMismatch: a worker whose local expansion disagrees with
 // the supervisor's hash must refuse to run rather than emit mis-seeded
 // records.

@@ -12,6 +12,7 @@ package shard
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/runcfg"
 )
@@ -69,6 +71,7 @@ func WorkerMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 1, "worker pool size inside this shard")
 	hb := fs.Duration("hb", DefaultHeartbeatEvery, "heartbeat period on stdout")
 	hash := fs.String("hash", "", "expected MatrixHash of the expansion (verified)")
+	spans := fs.Bool("spans", false, "trace campaign spans and stream them back at drain")
 	sup := runcfg.BindSupervise(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -138,8 +141,20 @@ func WorkerMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}()
 
+	// Span stitching: when the supervisor asked for it, trace this
+	// worker's campaign spans (one per cell attempt, via the shared
+	// per-cell supervisor) and stream them back over the control channel
+	// at drain — the supervisor rebases them onto its own timeline and
+	// gives each shard its own pid row in the merged Chrome trace.
+	var tracer *obs.Tracer
+	if *spans {
+		tracer = obs.NewTracer()
+	}
+	workSpan := tracer.Start(fmt.Sprintf("shard %d: cells %s", *shardNo, *cellSpec), "shard")
+
 	res, err := campaign.RunCells(ctx, subset, campaign.Options{
 		Workers:     *workers,
+		Tracer:      tracer,
 		CellTimeout: sup.CellTimeout,
 		Retries:     sup.Retries,
 		OnReport: func(cell campaign.Cell, r *profiling.RunReport) {
@@ -161,6 +176,17 @@ func WorkerMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	for _, ce := range res.Errors {
 		em.control("fail %d %s %d %q", ce.Cell.Index, ce.Class, ce.Attempts, ce.Err.Error())
+	}
+	workSpan.End()
+	// Spans travel last, after the records they describe: one compact
+	// JSON object per control line (json.Marshal never emits newlines,
+	// so each span stays a single side-channel line).
+	for _, sp := range tracer.Export() {
+		data, merr := json.Marshal(sp)
+		if merr != nil {
+			continue
+		}
+		em.control("span %s", data)
 	}
 	em.control("bye done=%d failed=%d", done.Load(), len(res.Errors))
 	return 0

@@ -143,6 +143,7 @@ func supervise(ctx context.Context, cell Cell, opt Options, exec execFn, m supMe
 		if attempt > 1 {
 			name = fmt.Sprintf("%s:a%d", name, attempt)
 		}
+		opt.Status.CellStarted(cell.Index, attempt)
 		sp := tr.Start(name, "session")
 		report, err := attemptCell(ctx, cell, opt, exec, m)
 		sp.End()
@@ -157,6 +158,7 @@ func supervise(ctx context.Context, cell Cell, opt Options, exec execFn, m supMe
 			return nil, attempt, err
 		}
 		m.retries.Inc()
+		opt.Status.CellRetryScheduled(cell.Index, attempt, err)
 		// Exponential backoff jittered to [0.5, 1.5)× from the cell's
 		// forked RNG: reproducible, and concurrent retry storms across
 		// workers decorrelate instead of thundering together.

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// EventLog is the campaign flight recorder: a bounded ring of
+// structured events (cell start/done/retry, shard respawn/hang, torn
+// records, ...) that a live endpoint can snapshot or stream while the
+// campaign runs. Like every obs surface, a nil *EventLog is disabled:
+// every method is a no-op returning zero values, so call sites append
+// unconditionally.
+//
+// The ring's semantics are deterministic even though event timing is
+// not: sequence numbers are assigned densely (1, 2, 3, ...) under one
+// lock, the ring always holds exactly the last Cap() events by
+// sequence, and Snapshot/Since return events in sequence order. Two
+// campaigns emitting the same events in the same order therefore
+// produce identical logs modulo the wall-clock stamps, and a wrapped
+// ring never reorders or loses an event silently — the drop count is
+// part of the snapshot.
+type EventLog struct {
+	mu      sync.Mutex
+	start   time.Time
+	seq     uint64
+	dropped uint64
+	buf     []Event // ring storage; len(buf) <= cap
+	head    int     // index of the oldest event when the ring is full
+	size    int     // fixed capacity
+}
+
+// DefaultEventLogSize is the ring capacity when NewEventLog is given a
+// non-positive one.
+const DefaultEventLogSize = 4096
+
+// Event is one structured campaign event.
+type Event struct {
+	// Seq is the dense, monotonically increasing sequence number; the
+	// SSE stream uses it as the event id so clients can resume.
+	Seq uint64 `json:"seq"`
+	// TUs is the event time in microseconds since the log was created
+	// (relative time keeps the log free of wall-clock skew concerns).
+	TUs int64 `json:"t_us"`
+	// Kind names the event: cell_start, cell_done, cell_retry,
+	// cell_failed, shard_spawn, shard_respawn, shard_hang, shard_crash,
+	// shard_torn, shard_dup, ...
+	Kind string `json:"kind"`
+	// Shard is the shard ordinal the event belongs to; -1 for events of
+	// the in-process (unsharded) tier or the campaign as a whole.
+	Shard int `json:"shard"`
+	// Cell is the cell ID for per-cell events, empty otherwise.
+	Cell string `json:"cell,omitempty"`
+	// Msg is free-form human-readable detail.
+	Msg string `json:"msg,omitempty"`
+}
+
+// NewEventLog returns an enabled event log holding the last capacity
+// events (DefaultEventLogSize when capacity <= 0).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventLogSize
+	}
+	return &EventLog{start: time.Now(), size: capacity}
+}
+
+// Append records one event, stamping its sequence number and relative
+// time, and returns the assigned sequence (0 on a nil log).
+func (l *EventLog) Append(kind string, shard int, cell, msg string) uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e := Event{
+		Seq:   l.seq,
+		TUs:   time.Since(l.start).Microseconds(),
+		Kind:  kind,
+		Shard: shard,
+		Cell:  cell,
+		Msg:   msg,
+	}
+	if len(l.buf) < l.size {
+		l.buf = append(l.buf, e)
+		return e.Seq
+	}
+	// Ring full: overwrite the oldest slot and advance the head.
+	l.buf[l.head] = e
+	l.head = (l.head + 1) % l.size
+	l.dropped++
+	return e.Seq
+}
+
+// Appendf is Append with a formatted message.
+func (l *EventLog) Appendf(kind string, shard int, cell, format string, args ...any) uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.Append(kind, shard, cell, fmt.Sprintf(format, args...))
+}
+
+// EventLogSnap is a point-in-time copy of the ring.
+type EventLogSnap struct {
+	Cap     int     `json:"cap"`
+	Total   uint64  `json:"total"`   // events ever appended
+	Dropped uint64  `json:"dropped"` // events overwritten by the ring
+	Events  []Event `json:"events"`  // retained events, ascending by seq
+}
+
+// Snapshot copies the retained events in sequence order. Zero-valued
+// on a nil log.
+func (l *EventLog) Snapshot() EventLogSnap {
+	if l == nil {
+		return EventLogSnap{Events: []Event{}}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := EventLogSnap{Cap: l.size, Total: l.seq, Dropped: l.dropped}
+	s.Events = make([]Event, 0, len(l.buf))
+	s.Events = append(s.Events, l.buf[l.head:]...)
+	s.Events = append(s.Events, l.buf[:l.head]...)
+	return s
+}
+
+// Since returns the retained events with Seq > seq, in sequence order
+// — the SSE resume primitive. Nil on a nil log.
+func (l *EventLog) Since(seq uint64) []Event {
+	if l == nil {
+		return nil
+	}
+	snap := l.Snapshot()
+	// Binary search over the seq-ordered snapshot: find the first
+	// event past seq.
+	lo, hi := 0, len(snap.Events)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if snap.Events[mid].Seq <= seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return snap.Events[lo:]
+}
+
+// WriteJSONL writes the retained events as JSON Lines, one event per
+// line — the -events persistence format. A no-op on a nil log.
+func (l *EventLog) WriteJSONL(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range l.Snapshot().Events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SSEHandler returns the /events handler: a Server-Sent Events stream
+// of the ring, starting with every retained event and following the
+// live tail (polled at the given period; <=0 means 250ms) until the
+// client disconnects. Safe on a nil log (streams nothing, waits for
+// disconnect).
+func (l *EventLog) SSEHandler(poll time.Duration) http.Handler {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		fl, _ := w.(http.Flusher)
+		var last uint64
+		// Honor Last-Event-ID so a dropped connection resumes where it
+		// left off instead of replaying the ring.
+		if id := req.Header.Get("Last-Event-ID"); id != "" {
+			fmt.Sscanf(id, "%d", &last)
+		}
+		t := time.NewTicker(poll)
+		defer t.Stop()
+		for {
+			for _, e := range l.Since(last) {
+				data, err := json.Marshal(e)
+				if err != nil {
+					return
+				}
+				if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data); err != nil {
+					return
+				}
+				last = e.Seq
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			select {
+			case <-req.Context().Done():
+				return
+			case <-t.C:
+			}
+		}
+	})
+}

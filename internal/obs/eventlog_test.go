@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	if seq := l.Append("k", 0, "", "m"); seq != 0 {
+		t.Errorf("nil Append returned seq %d", seq)
+	}
+	if seq := l.Appendf("k", 0, "", "%d", 1); seq != 0 {
+		t.Errorf("nil Appendf returned seq %d", seq)
+	}
+	snap := l.Snapshot()
+	if snap.Events == nil || len(snap.Events) != 0 {
+		t.Errorf("nil Snapshot = %+v, want empty non-nil Events", snap)
+	}
+	if got := l.Since(0); got != nil {
+		t.Errorf("nil Since = %v", got)
+	}
+	var b strings.Builder
+	if err := l.WriteJSONL(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil WriteJSONL = (%q, %v)", b.String(), err)
+	}
+	// The nil SSE handler must serve (and terminate with the request).
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest("GET", "/events", nil).WithContext(ctx)
+	l.SSEHandler(time.Millisecond).ServeHTTP(httptest.NewRecorder(), req)
+}
+
+func TestEventLogSequenceAndOrder(t *testing.T) {
+	l := NewEventLog(16)
+	l.Append("cell_start", -1, "a", "")
+	l.Appendf("cell_done", 0, "a", "cycles %d", 100)
+	l.Append("shard_spawn", 1, "", "pid 42")
+	snap := l.Snapshot()
+	if snap.Total != 3 || snap.Dropped != 0 || snap.Cap != 16 {
+		t.Fatalf("snapshot meta = %+v", snap)
+	}
+	for i, e := range snap.Events {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d has seq %d, want dense 1-based", i, e.Seq)
+		}
+		if e.TUs < 0 {
+			t.Errorf("event %d has negative relative time %d", i, e.TUs)
+		}
+	}
+	if snap.Events[1].Msg != "cycles 100" || snap.Events[2].Shard != 1 {
+		t.Errorf("events mangled: %+v", snap.Events)
+	}
+}
+
+// TestEventLogWrap pins the ring contract: after wrapping, the log
+// holds exactly the last Cap events by sequence and counts the rest as
+// dropped.
+func TestEventLogWrap(t *testing.T) {
+	const cap, total = 8, 27
+	l := NewEventLog(cap)
+	for i := 0; i < total; i++ {
+		l.Append("e", -1, "", "")
+	}
+	snap := l.Snapshot()
+	if snap.Total != total || snap.Dropped != total-cap || len(snap.Events) != cap {
+		t.Fatalf("total=%d dropped=%d retained=%d, want %d/%d/%d",
+			snap.Total, snap.Dropped, len(snap.Events), total, total-cap, cap)
+	}
+	for i, e := range snap.Events {
+		if want := uint64(total - cap + 1 + i); e.Seq != want {
+			t.Errorf("retained[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	// Since resumes exactly past the given seq.
+	since := l.Since(total - 3)
+	if len(since) != 3 || since[0].Seq != total-2 {
+		t.Errorf("Since(%d) = %d events starting %d", total-3, len(since), since[0].Seq)
+	}
+	if got := l.Since(total); len(got) != 0 {
+		t.Errorf("Since(latest) returned %d events", len(got))
+	}
+}
+
+// TestEventLogConcurrentWrap hammers the ring from parallel appenders
+// (run under -race) and then checks the deterministic invariants: dense
+// retained sequence range ending at Total, no loss unaccounted by
+// Dropped.
+func TestEventLogConcurrentWrap(t *testing.T) {
+	const cap = 64
+	const writers, perWriter = 8, 500
+	l := NewEventLog(cap)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Appendf("e", w, "", "%d", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := l.Snapshot()
+	if snap.Total != writers*perWriter {
+		t.Fatalf("total = %d, want %d", snap.Total, writers*perWriter)
+	}
+	if len(snap.Events) != cap {
+		t.Fatalf("retained %d, want %d", len(snap.Events), cap)
+	}
+	if snap.Dropped != snap.Total-uint64(cap) {
+		t.Errorf("dropped = %d, want %d", snap.Dropped, snap.Total-uint64(cap))
+	}
+	for i, e := range snap.Events {
+		if want := snap.Total - uint64(cap) + 1 + uint64(i); e.Seq != want {
+			t.Fatalf("retained[%d].Seq = %d, want dense %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestEventLogWriteJSONL(t *testing.T) {
+	l := NewEventLog(8)
+	l.Append("cell_start", -1, "c0", "")
+	l.Append("cell_done", -1, "c0", "ok")
+	var b strings.Builder
+	if err := l.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var n int
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not an Event: %v", n, err)
+		}
+		n++
+		if e.Seq != uint64(n) {
+			t.Errorf("line %d seq %d", n, e.Seq)
+		}
+	}
+	if n != 2 {
+		t.Errorf("wrote %d lines, want 2", n)
+	}
+}
+
+// TestEventLogSSE drives the /events handler end to end: retained
+// events replay first with their seq as the SSE id, and Last-Event-ID
+// resumes past already-seen events.
+func TestEventLogSSE(t *testing.T) {
+	l := NewEventLog(8)
+	l.Append("cell_start", -1, "c0", "")
+	l.Append("cell_done", 2, "c0", "ok")
+
+	serve := func(lastID string) string {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		req := httptest.NewRequest("GET", "/events", nil).WithContext(ctx)
+		if lastID != "" {
+			req.Header.Set("Last-Event-ID", lastID)
+		}
+		rec := httptest.NewRecorder()
+		l.SSEHandler(5*time.Millisecond).ServeHTTP(rec, req)
+		if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+			t.Errorf("content type %q", ct)
+		}
+		return rec.Body.String()
+	}
+
+	body := serve("")
+	for _, want := range []string{"id: 1\n", "id: 2\n", "event: cell_done\n", `"shard":2`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("SSE stream missing %q:\n%s", want, body)
+		}
+	}
+	resumed := serve("1")
+	if strings.Contains(resumed, "id: 1\n") {
+		t.Errorf("Last-Event-ID: 1 replayed event 1:\n%s", resumed)
+	}
+	if !strings.Contains(resumed, "id: 2\n") {
+		t.Errorf("resume skipped event 2:\n%s", resumed)
+	}
+}

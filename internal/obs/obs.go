@@ -149,12 +149,13 @@ func (h *Histogram) snapshot() HistogramSnap {
 	if m := h.min.Load(); m > 0 {
 		s.Min = m - 1
 	}
-	var bk [histBuckets]uint64
+	bk := make([]uint64, histBuckets)
 	for i := range bk {
 		bk[i] = h.buckets[i].Load()
 	}
-	s.P50 = bucketQuantile(bk[:], s.Count, 0.50)
-	s.P95 = bucketQuantile(bk[:], s.Count, 0.95)
+	s.P50 = bucketQuantile(bk, s.Count, 0.50)
+	s.P95 = bucketQuantile(bk, s.Count, 0.95)
+	s.Buckets = bk
 	return s
 }
 
@@ -261,14 +262,19 @@ type GaugeSnap struct {
 
 // HistogramSnap is one histogram in a snapshot. P50/P95 are upper-bound
 // estimates from the base-2 buckets (exact to a factor of two).
+// Buckets carries the raw per-bucket counts (bucket i = observations of
+// bit length i) for exporters that need the full distribution, e.g. the
+// Prometheus exposition; it is deliberately excluded from the JSON
+// snapshot, whose shape is pinned by golden tests.
 type HistogramSnap struct {
-	Name  string `json:"name,omitempty"`
-	Count uint64 `json:"count"`
-	Sum   uint64 `json:"sum"`
-	Min   uint64 `json:"min"`
-	Max   uint64 `json:"max"`
-	P50   uint64 `json:"p50"`
-	P95   uint64 `json:"p95"`
+	Name    string   `json:"name,omitempty"`
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	P50     uint64   `json:"p50"`
+	P95     uint64   `json:"p95"`
+	Buckets []uint64 `json:"-"`
 }
 
 // Snapshot is a point-in-time copy of every metric, ordered by name within

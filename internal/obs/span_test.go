@@ -106,6 +106,89 @@ func TestChromeTraceFormat(t *testing.T) {
 	}
 }
 
+// TestSpanStitching exercises the cross-process merge path: a "worker"
+// tracer exports its spans in absolute wall-clock form, a "supervisor"
+// tracer ingests them under a distinct pid row, and the merged Chrome
+// trace carries process_name metadata first, then every span on its
+// proper row with rebased timestamps.
+func TestSpanStitching(t *testing.T) {
+	sup := NewTracer()
+	s := sup.Start("execute", "campaign")
+
+	worker := NewTracer()
+	w := worker.Start("cell:w0", "session")
+	time.Sleep(time.Millisecond)
+	w.End()
+	s.End()
+
+	exported := worker.Export()
+	if len(exported) != 1 {
+		t.Fatalf("worker exported %d spans, want 1", len(exported))
+	}
+	// The wire format round-trips through one line of JSON.
+	line, err := json.Marshal(exported[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.ContainsRune(line, '\n') {
+		t.Fatalf("span JSON is not single-line: %q", line)
+	}
+	var sp SpanExport
+	if err := json.Unmarshal(line, &sp); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "cell:w0" || sp.Cat != "session" || sp.Dur < int64(time.Millisecond) {
+		t.Fatalf("span mangled on the wire: %+v", sp)
+	}
+
+	sup.SetProcessName(1, "supervisor")
+	sup.SetProcessName(2, "shard 0")
+	sup.IngestSpan(2, sp)
+
+	ct := sup.Trace()
+	if len(ct.TraceEvents) != 4 {
+		t.Fatalf("trace has %d events, want 2 metadata + 2 spans", len(ct.TraceEvents))
+	}
+	// Metadata first, sorted by pid.
+	for i, wantPid := range []int{1, 2} {
+		ev := ct.TraceEvents[i]
+		if ev.Ph != "M" || ev.Name != "process_name" || ev.Pid != wantPid {
+			t.Errorf("event %d = %+v, want process_name metadata for pid %d", i, ev, wantPid)
+		}
+	}
+	if ct.TraceEvents[0].Args["name"] != "supervisor" || ct.TraceEvents[1].Args["name"] != "shard 0" {
+		t.Errorf("process names wrong: %+v", ct.TraceEvents[:2])
+	}
+	// Spans sorted by ts, each on its pid row, rebased into the
+	// supervisor's timebase (both started after the supervisor's origin,
+	// so every ts is non-negative and the worker span nests inside the
+	// supervisor's).
+	byName := map[string]TraceEvent{}
+	for _, ev := range ct.TraceEvents[2:] {
+		if ev.Ph != "X" {
+			t.Errorf("span event ph = %q", ev.Ph)
+		}
+		byName[ev.Name] = ev
+	}
+	exec, cell := byName["execute"], byName["cell:w0"]
+	if exec.Pid != 1 || cell.Pid != 2 {
+		t.Errorf("pid rows: execute=%d cell=%d, want 1 and 2", exec.Pid, cell.Pid)
+	}
+	if cell.Ts < exec.Ts || cell.Ts+cell.Dur > exec.Ts+exec.Dur+1 {
+		t.Errorf("ingested span [%v,%v] not nested in supervisor span [%v,%v]",
+			cell.Ts, cell.Ts+cell.Dur, exec.Ts, exec.Ts+exec.Dur)
+	}
+}
+
+func TestSpanStitchingNilSafe(t *testing.T) {
+	var tr *Tracer
+	if got := tr.Export(); got != nil {
+		t.Errorf("nil Export = %v", got)
+	}
+	tr.IngestSpan(2, SpanExport{Name: "x"}) // must not panic
+	tr.SetProcessName(1, "y")               // must not panic
+}
+
 func TestEmptyTracerStillValidTrace(t *testing.T) {
 	tr := NewTracer()
 	var buf bytes.Buffer

@@ -10,6 +10,8 @@ package runcfg
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -215,6 +217,67 @@ func BindShard(fs *flag.FlagSet) *Shard {
 	fs.DurationVar(&s.DrainTimeout, "draintimeout", 0,
 		"graceful drain bound on cancel: SIGTERM, wait this long, then SIGKILL (0 = default)")
 	return s
+}
+
+// Telemetry is the shared observability knob set: where to serve the
+// live telemetry endpoints and where to persist the trace and event
+// artifacts. Every CLI that can run long enough to be worth watching
+// exposes the same flags with the same semantics, so an operator who
+// learned `tcprof -metrics :9090` already knows `tcfleet run -metrics`.
+// runcfg owns only the knobs and the listener; which endpoints hang off
+// the mux is each CLI's business (it depends on what the run has — a
+// single session has no campaign scoreboard).
+type Telemetry struct {
+	// MetricsAddr is the HTTP listen address for the live endpoints
+	// (/metrics, /metrics/prom and, for campaigns, /status and /events).
+	// ":0" binds an ephemeral port — Serve returns the actual address, so
+	// scripts and CI can scrape without guessing a free port. Empty
+	// disables the listener.
+	MetricsAddr string
+	// TracePath, when set, asks the CLI to write the run's spans as a
+	// Chrome trace_event file at exit.
+	TracePath string
+	// EventsPath, when set, asks the CLI to persist the flight-recorder
+	// event log as JSONL at exit. Only campaigns have an event log;
+	// single-session CLIs leave it unregistered.
+	EventsPath string
+}
+
+// BindTelemetry registers the telemetry flag subset shared by every CLI
+// (-metrics, -trace) on fs and returns the destination. CLIs that have
+// a flight recorder additionally bind -events onto the same Telemetry
+// via BindTelemetryEvents.
+func BindTelemetry(fs *flag.FlagSet) *Telemetry {
+	t := &Telemetry{}
+	fs.StringVar(&t.MetricsAddr, "metrics", "",
+		"serve live telemetry at http://ADDR for the duration of the run (\":0\" picks a free port and prints it)")
+	fs.StringVar(&t.TracePath, "trace", "",
+		"write the run's spans as a Chrome trace (load in about://tracing)")
+	return t
+}
+
+// BindTelemetryEvents registers -events on fs, persisting the campaign
+// flight recorder; call it after BindTelemetry on the same destination.
+func BindTelemetryEvents(fs *flag.FlagSet, t *Telemetry) {
+	fs.StringVar(&t.EventsPath, "events", "",
+		"write the campaign flight-recorder events as JSONL to this file at exit")
+}
+
+// Serve binds MetricsAddr and serves h on it from a background
+// goroutine for the remainder of the process, returning the actual
+// bound address (the only way to learn the port when MetricsAddr is
+// ":0") and a closer that stops the listener. With MetricsAddr empty it
+// is a no-op returning ("", no-op closer, nil).
+func (t *Telemetry) Serve(h http.Handler) (addr string, closer func() error, err error) {
+	if t == nil || t.MetricsAddr == "" {
+		return "", func() error { return nil }, nil
+	}
+	ln, err := net.Listen("tcp", t.MetricsAddr)
+	if err != nil {
+		return "", nil, fmt.Errorf("runcfg: telemetry endpoint: %w", err)
+	}
+	go http.Serve(ln, h)
+	return ln.Addr().String(), ln.Close, nil
 }
 
 // Prof is the shared host-profiling knob set: pprof capture of the
