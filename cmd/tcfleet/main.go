@@ -17,8 +17,7 @@
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	tcfleet run -resume dir [-workers N] [-celltimeout D] [-retries N] [flags]
 //
-// The bare form "tcfleet report-dir ..." is a deprecated alias for
-// "tcfleet aggregate". Interrupting a campaign (Ctrl-C) stops the
+// Interrupting a campaign (Ctrl-C) stops the
 // in-flight sessions and flushes the partial aggregate; with -journal,
 // the interrupted campaign is resumable: "tcfleet run -resume dir"
 // reloads the matrix from the journal manifest, skips every
@@ -96,10 +95,7 @@ func run(args []string) error {
 		flag.Usage()
 		return nil
 	default:
-		// Historical invocation: tcfleet [flags] report-dir|report.json ...
-		fmt.Fprintln(os.Stderr,
-			"tcfleet: note: bare invocation is deprecated, use \"tcfleet aggregate ...\"")
-		return runAggregate(args)
+		return fmt.Errorf("unknown subcommand %q (use \"aggregate\" or \"run\")", args[0])
 	}
 }
 

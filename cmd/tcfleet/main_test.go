@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/profiling"
@@ -68,5 +69,20 @@ func TestAggregateSkipsCorruptReports(t *testing.T) {
 	}
 	if err := runAggregate([]string{bad}); err == nil {
 		t.Error("aggregation of only-corrupt inputs succeeded")
+	}
+}
+
+// TestBareDirectoryIsNotASubcommand pins the removal of the historical
+// bare form ("tcfleet report-dir"): a path argument is an unknown
+// subcommand, and the error points at the two real spellings.
+func TestBareDirectoryIsNotASubcommand(t *testing.T) {
+	err := run([]string{t.TempDir()})
+	if err == nil {
+		t.Fatal("bare directory argument was accepted")
+	}
+	for _, want := range []string{"unknown subcommand", "aggregate", "run"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
 	}
 }

@@ -1,0 +1,47 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/profiling"
+	"repro/internal/soc"
+)
+
+// TestCampaignBlockDecodeDeterminism runs the same matrix twice — once with
+// every cell's SoC using the default decode-once block cache, once with
+// per-word reference decode forced — and demands byte-identical canonical
+// aggregate JSON. Together with the per-report grid in internal/profiling
+// this pins the block-dispatch contract at fleet scale: the decoded-block
+// cache is a pure wall-clock optimization with no observable effect on any
+// simulated result.
+func TestCampaignBlockDecodeDeterminism(t *testing.T) {
+	m := testMatrix()
+	blocked, err := Run(context.Background(), m, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.Completed != m.Size() || blocked.Failed != 0 {
+		t.Fatalf("block-decode run = %+v", blocked)
+	}
+	want := profileJSON(t, blocked)
+
+	perWord, err := Run(context.Background(), m, Options{
+		Workers: 4,
+		exec: func(ctx context.Context, cell Cell) (*profiling.RunReport, error) {
+			return runCellWith(ctx, cell, func(s *soc.SoC) {
+				s.SetBlockDecode(false)
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perWord.Completed != m.Size() || perWord.Failed != 0 {
+		t.Fatalf("per-word run = %+v", perWord)
+	}
+	if got := profileJSON(t, perWord); !bytes.Equal(got, want) {
+		t.Error("campaign aggregate differs between decode modes")
+	}
+}

@@ -204,6 +204,17 @@ type Overlay struct {
 	Emem  *EMEM
 	pages []Page
 
+	// OnRemap, when set, is called after every redirection-table change
+	// (MapPage, ClearPages). Remapping changes what a flash address reads
+	// as, so the SoC assembly hooks decoded-code invalidation here.
+	OnRemap func()
+
+	// OnWrite, when set, is called for every write redirected into the
+	// overlay partition, with the *flash-view* address the writer used.
+	// Such writes change what the overlaid window reads as — the same
+	// invalidation obligation as programming the flash array itself.
+	OnWrite func(flashAddr uint32, n int)
+
 	Redirected uint64 // accesses served from the overlay
 	PassedThru uint64
 }
@@ -223,10 +234,18 @@ func (o *Overlay) MapPage(p Page) {
 		panic(fmt.Sprintf("emem: overlay page beyond partition (%#x+%#x)", p.EmemOff, p.Size))
 	}
 	o.pages = append(o.pages, p)
+	if o.OnRemap != nil {
+		o.OnRemap()
+	}
 }
 
 // ClearPages removes all redirections.
-func (o *Overlay) ClearPages() { o.pages = nil }
+func (o *Overlay) ClearPages() {
+	o.pages = nil
+	if o.OnRemap != nil {
+		o.OnRemap()
+	}
+}
 
 // Resolve returns the redirected EMEM address for a flash access of size
 // bytes at addr, or ok=false when no page covers it. Backdoor (Peek) reads
@@ -245,6 +264,9 @@ func (o *Overlay) Access(grant uint64, req *bus.Request) uint64 {
 	for _, p := range o.pages {
 		if req.Addr >= p.FlashAddr && req.Addr+uint32(len(req.Data)) <= p.FlashAddr+p.Size {
 			o.Redirected++
+			if req.Write && o.OnWrite != nil {
+				o.OnWrite(req.Addr, len(req.Data))
+			}
 			shifted := *req
 			shifted.Addr = mem.EMEMBase + p.EmemOff + (req.Addr - p.FlashAddr)
 			return o.Emem.RAM.Access(grant, &shifted)

@@ -137,6 +137,12 @@ type Flash struct {
 
 	counters sim.Counters
 
+	// OnWrite, when set, is called after any operation that changes array
+	// content — host-side Load and bus-side program writes — with the
+	// absolute address and length of the written window. The SoC assembly
+	// uses it to invalidate decoded-code caches (see isa.Decoder).
+	OnWrite func(addr uint32, n int)
+
 	// Statistics beyond the generic event counters.
 	ArrayReads      uint64
 	PrefetchIssued  uint64
@@ -177,6 +183,9 @@ func (f *Flash) Load(addr uint32, image []byte) {
 		panic(fmt.Sprintf("flash %s: load beyond array (%#x+%d)", f.cfg.Name, addr, len(image)))
 	}
 	copy(f.data[off:], image)
+	if f.OnWrite != nil {
+		f.OnWrite(addr, len(image))
+	}
 }
 
 // ReadDirect returns the raw array content (no timing; used by trace
@@ -219,6 +228,9 @@ func (f *Flash) access(grant uint64, portID int, req *bus.Request) uint64 {
 		// Abstracted program operation: occupies the array for WriteCycles.
 		start := f.acquireArray(grant, portID)
 		copy(f.data[off:], req.Data)
+		if f.OnWrite != nil {
+			f.OnWrite(req.Addr, len(req.Data))
+		}
 		done := start + f.cfg.WriteCycles
 		f.holdArray(done, portID)
 		return done - grant

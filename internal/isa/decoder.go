@@ -1,0 +1,314 @@
+package isa
+
+import "sort"
+
+// This file is the decode-once half of the isa API. Decode remains the
+// one-word reference primitive (disassemblers and differential tests use
+// it); execution-facing consumers go through a Decoder, which amortizes
+// decode cost across runs of straight-line code by caching decoded basic
+// blocks keyed by their entry PC.
+
+// Fuse classifies an instruction pair (this instruction and its block
+// successor) that the block executor can treat as one superinstruction.
+// Fusion never changes architectural or timing behaviour — each kind
+// encodes a statically provable fact about how the pair issues, letting
+// the executor skip re-deriving it every cycle (and, for FuseStLoop,
+// dispatch the whole pair without returning to the generic issue loop).
+type Fuse uint8
+
+const (
+	// FuseNone: no special relationship with the successor.
+	FuseNone Fuse = iota
+
+	// FuseSamePipe: the successor needs the same execution pipe, so the
+	// pair can never dual-issue (compare+branch is the canonical case —
+	// both are PipeInt). After the head issues, the bundle is over for
+	// the tail; only the tail's fetch timing remains to be charged.
+	FuseSamePipe
+
+	// FuseLoadUse: the head is a load and the successor reads its
+	// destination register. With a non-zero load-use latency the tail
+	// can never issue in the head's cycle.
+	FuseLoadUse
+
+	// FuseStLoop: store followed by LOOP — the hot kernel back edge
+	// (store result, decrement, branch back). Stores write no register,
+	// so the pair has no intra-pair dependency; it is dispatched as one
+	// superinstruction when all issue conditions hold.
+	FuseStLoop
+)
+
+// String names the fusion kind.
+func (f Fuse) String() string {
+	switch f {
+	case FuseNone:
+		return "none"
+	case FuseSamePipe:
+		return "samepipe"
+	case FuseLoadUse:
+		return "loaduse"
+	case FuseStLoop:
+		return "stloop"
+	}
+	return "??"
+}
+
+// DInstr is one decoded instruction inside a cached block, carrying
+// everything the per-cycle issue loop would otherwise re-derive from the
+// word: the pipe class, the read-register set, and the fusion relationship
+// with the next instruction in the block.
+type DInstr struct {
+	In      Instr
+	Raw     uint32 // original fetched word (diagnostics use the raw word)
+	Pipe    Pipe
+	Fuse    Fuse
+	NRead   uint8
+	Reads   [3]uint8
+	Invalid bool // word does not decode; terminates the block
+}
+
+// MaxBlockInstrs bounds the length of a cached block. Blocks normally end
+// at the first branch, HALT, or undecodable word; straight-line runs
+// longer than this are split, which only costs an extra lookup.
+const MaxBlockInstrs = 64
+
+// Block is a decoded basic block: a run of instructions starting at PC
+// with no control-flow entry except the first and ending at the first
+// branch, HALT, undecodable word, or the length cap. A branch *into* the
+// middle of a block simply creates a second, overlapping block at that
+// entry point.
+type Block struct {
+	PC  uint32
+	Ins []DInstr
+}
+
+// DecoderStats counts cache traffic for diagnostics and tests.
+type DecoderStats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Invalidations uint64
+	Fused         uint64 // instruction pairs marked with a Fuse kind
+}
+
+// DefaultBlockCacheSize is the block capacity a SoC-attached Decoder uses:
+// generous for real firmware working sets, small enough that the map stays
+// cache-friendly.
+const DefaultBlockCacheSize = 1024
+
+// Decoder owns a bounded PC-keyed cache of decoded basic blocks. It is the
+// execution-facing decode API: cores ask it for the block at a PC and walk
+// the pre-decoded instructions instead of calling Decode on every fetched
+// word, every cycle.
+//
+// A Decoder is not safe for concurrent use; every simulated SoC owns one
+// (shared between its cores, which tick on one goroutine).
+//
+// Correctness contract: any write that can change instruction words —
+// flash programming, program loads, calibration overlay remaps — must
+// invalidate, via InvalidateRange or InvalidateAll. The SoC assembly wires
+// these hooks; see DESIGN.md §14.
+type Decoder struct {
+	blocks map[uint32]*Block
+	fifo   []uint32 // insertion order for FIFO eviction
+	max    int
+	gen    uint64 // bumped on every invalidation; consumers key hints on it
+	stats  DecoderStats
+}
+
+// NewDecoder returns a Decoder caching at most maxBlocks blocks (FIFO
+// eviction). maxBlocks <= 0 selects DefaultBlockCacheSize.
+func NewDecoder(maxBlocks int) *Decoder {
+	if maxBlocks <= 0 {
+		maxBlocks = DefaultBlockCacheSize
+	}
+	return &Decoder{
+		blocks: make(map[uint32]*Block, maxBlocks),
+		fifo:   make([]uint32, 0, maxBlocks),
+		max:    maxBlocks,
+	}
+}
+
+// Stats returns the cache traffic counters.
+func (d *Decoder) Stats() DecoderStats { return d.stats }
+
+// Len returns the number of cached blocks.
+func (d *Decoder) Len() int { return len(d.blocks) }
+
+// Gen returns the invalidation generation. It changes on every
+// InvalidateRange/InvalidateAll, so a consumer holding a *Block pointer
+// across cycles can cheaply detect that its hint may be stale.
+func (d *Decoder) Gen() uint64 { return d.gen }
+
+// Block returns the decoded basic block starting at pc, building and
+// caching it on a miss. word supplies instruction words by address with no
+// timing effects (the PMI backdoor); the builder reads at most
+// MaxBlockInstrs words starting at pc.
+func (d *Decoder) Block(pc uint32, word func(addr uint32) uint32) *Block {
+	if b, ok := d.blocks[pc]; ok {
+		d.stats.Hits++
+		return b
+	}
+	d.stats.Misses++
+	b := d.build(pc, word)
+	d.insert(b)
+	return b
+}
+
+func (d *Decoder) build(pc uint32, word func(addr uint32) uint32) *Block {
+	b := &Block{PC: pc}
+	p := pc
+	for len(b.Ins) < MaxBlockInstrs {
+		w := word(p)
+		in := Decode(w)
+		di := DInstr{In: in, Raw: w}
+		if !in.Op.Valid() {
+			di.Invalid = true
+			b.Ins = append(b.Ins, di)
+			break
+		}
+		di.Pipe = in.Op.Pipe()
+		di.NRead = uint8(in.ReadRegs(&di.Reads))
+		b.Ins = append(b.Ins, di)
+		if in.Op.IsBranch() || in.Op == OpHALT {
+			break
+		}
+		p += 4
+	}
+	d.fusePairs(b)
+	return b
+}
+
+// fusePairs marks each instruction whose relationship with its successor
+// the executor can exploit. The tag lives on the *head* of the pair.
+func (d *Decoder) fusePairs(b *Block) {
+	for i := 0; i+1 < len(b.Ins); i++ {
+		head, tail := &b.Ins[i], &b.Ins[i+1]
+		if head.Invalid || tail.Invalid {
+			continue
+		}
+		switch {
+		case head.In.Op.IsStore() && tail.In.Op == OpLOOP:
+			// Store + LOOP: the one genuinely dual-issuable hot pair
+			// (LS pipe + loop pipe). Stores write no register, so the
+			// pair has no intra-pair register dependency by construction.
+			head.Fuse = FuseStLoop
+		case head.In.Op.IsLoad() && readsReg(tail, head.In.Rd):
+			head.Fuse = FuseLoadUse
+		case head.Pipe == tail.Pipe:
+			head.Fuse = FuseSamePipe
+		default:
+			continue
+		}
+		d.stats.Fused++
+	}
+}
+
+func readsReg(di *DInstr, r uint8) bool {
+	for i := 0; i < int(di.NRead); i++ {
+		if di.Reads[i] == r {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Decoder) insert(b *Block) {
+	for len(d.blocks) >= d.max {
+		// FIFO eviction; keys already removed by a range invalidation are
+		// skipped (the fifo may briefly hold stale keys).
+		victim := d.fifo[0]
+		d.fifo = d.fifo[1:]
+		if _, ok := d.blocks[victim]; ok {
+			delete(d.blocks, victim)
+			d.stats.Evictions++
+		}
+	}
+	d.blocks[b.PC] = b
+	d.fifo = append(d.fifo, b.PC)
+}
+
+// InvalidateAll drops every cached block and bumps the generation. Called
+// when code memory changed in a way not attributable to a range (overlay
+// remaps, whole-image loads).
+func (d *Decoder) InvalidateAll() {
+	d.gen++
+	d.stats.Invalidations++
+	if len(d.blocks) == 0 {
+		d.fifo = d.fifo[:0]
+		return
+	}
+	for pc := range d.blocks {
+		delete(d.blocks, pc)
+	}
+	d.fifo = d.fifo[:0]
+}
+
+// InvalidateRange drops every cached block overlapping [addr, addr+n) and
+// bumps the generation. Flash programming and program loads call this with
+// the written window.
+func (d *Decoder) InvalidateRange(addr uint32, n uint32) {
+	if n == 0 {
+		return
+	}
+	d.gen++
+	d.stats.Invalidations++
+	lo, hi := uint64(addr), uint64(addr)+uint64(n)
+	removed := false
+	for pc, b := range d.blocks {
+		start, end := uint64(pc), uint64(pc)+4*uint64(len(b.Ins))
+		if start < hi && end > lo {
+			delete(d.blocks, pc)
+			removed = true
+		}
+	}
+	if removed {
+		// Compact the eviction queue, preserving insertion order so the
+		// eviction sequence stays deterministic.
+		keep := d.fifo[:0]
+		for _, pc := range d.fifo {
+			if _, ok := d.blocks[pc]; ok {
+				keep = append(keep, pc)
+			}
+		}
+		d.fifo = keep
+	}
+}
+
+// CachedPCs returns the entry PCs of all cached blocks in ascending order
+// (test and diagnostic use).
+func (d *Decoder) CachedPCs() []uint32 {
+	pcs := make([]uint32, 0, len(d.blocks))
+	for pc := range d.blocks {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
+}
+
+// ReadRegs stores the registers the instruction reads into regs and
+// returns how many there are. It is allocation-free: the issue logic runs
+// it for every instruction (once per execution on the per-word path, once
+// per block build on the cached path).
+func (in Instr) ReadRegs(regs *[3]uint8) int {
+	switch in.Op {
+	case OpNOP, OpMOVI, OpMOVH, OpJ, OpRFE, OpHALT, OpDBG, OpCALL, OpMFCR:
+		return 0
+	case OpORIL:
+		regs[0] = in.Rd
+		return 1
+	case OpMAC:
+		regs[0], regs[1], regs[2] = in.Rd, in.Ra, in.Rb
+		return 3
+	case OpSTW, OpSTB:
+		regs[0], regs[1] = in.Rd, in.Ra
+		return 2
+	case OpLDW, OpLDB, OpLEA, OpJR, OpLOOP, OpMTCR,
+		OpADDI, OpANDI, OpORI, OpXORI, OpSHLI, OpSHRI, OpSLTI:
+		regs[0] = in.Ra
+		return 1
+	default: // branches and three-register ALU
+		regs[0], regs[1] = in.Ra, in.Rb
+		return 2
+	}
+}

@@ -1,0 +1,360 @@
+package isa
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// memWord adapts a word slice at base to the Decoder's word callback.
+// Addresses beyond the slice read as zero (OpNOP), like erased memory.
+func memWord(base uint32, words []uint32) func(uint32) uint32 {
+	return func(addr uint32) uint32 {
+		i := (addr - base) / 4
+		if i >= uint32(len(words)) {
+			return 0
+		}
+		return words[i]
+	}
+}
+
+func encodeAll(ins []Instr) []uint32 {
+	ws := make([]uint32, len(ins))
+	for i, in := range ins {
+		ws[i] = in.Encode()
+	}
+	return ws
+}
+
+func TestDecoderBlockTermination(t *testing.T) {
+	const base = 0x8000_0000
+	cases := []struct {
+		name    string
+		words   []uint32
+		wantLen int
+		invalid bool
+	}{
+		{"branch", encodeAll([]Instr{
+			{Op: OpADDI, Rd: 2, Ra: 2, Imm: 1},
+			{Op: OpBEQ, Ra: 2, Rb: 3, Imm: 4},
+			{Op: OpNOP}, // unreachable from this entry
+		}), 2, false},
+		{"halt", encodeAll([]Instr{
+			{Op: OpNOP},
+			{Op: OpHALT},
+			{Op: OpNOP},
+		}), 2, false},
+		{"invalid", []uint32{
+			Instr{Op: OpNOP}.Encode(),
+			0xFF00_0000, // opcode 0xFF does not decode
+		}, 2, true},
+		{"jump24", encodeAll([]Instr{
+			{Op: OpJ, Off24: -3},
+		}), 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDecoder(8)
+			b := d.Block(base, memWord(base, tc.words))
+			if b.PC != base {
+				t.Fatalf("block PC = %#x, want %#x", b.PC, base)
+			}
+			if len(b.Ins) != tc.wantLen {
+				t.Fatalf("block length = %d, want %d", len(b.Ins), tc.wantLen)
+			}
+			last := b.Ins[len(b.Ins)-1]
+			if last.Invalid != tc.invalid {
+				t.Fatalf("last.Invalid = %v, want %v", last.Invalid, tc.invalid)
+			}
+			if tc.invalid && last.Raw != tc.words[len(b.Ins)-1] {
+				t.Fatalf("invalid terminator Raw = %#x, want %#x", last.Raw, tc.words[len(b.Ins)-1])
+			}
+		})
+	}
+}
+
+func TestDecoderBlockLengthCap(t *testing.T) {
+	const base = 0x8000_0000
+	d := NewDecoder(8)
+	// All-zero memory: every word decodes as NOP, so the only terminator is
+	// the length cap.
+	b := d.Block(base, func(uint32) uint32 { return 0 })
+	if len(b.Ins) != MaxBlockInstrs {
+		t.Fatalf("block length = %d, want cap %d", len(b.Ins), MaxBlockInstrs)
+	}
+	for i, di := range b.Ins {
+		if di.In.Op != OpNOP || di.Invalid {
+			t.Fatalf("ins[%d] = %+v, want NOP", i, di)
+		}
+	}
+}
+
+func TestDecoderFusionMarks(t *testing.T) {
+	const base = 0x8000_0000
+	ins := []Instr{
+		{Op: OpSTW, Rd: 2, Ra: 1, Imm: 0}, // 0: store + LOOP → FuseStLoop
+		{Op: OpLOOP, Ra: 9, Imm: -2},      //    (also ends the block? LOOP is a branch)
+	}
+	d := NewDecoder(8)
+	b := d.Block(base, memWord(base, encodeAll(ins)))
+	if len(b.Ins) != 2 {
+		t.Fatalf("block length = %d, want 2", len(b.Ins))
+	}
+	if b.Ins[0].Fuse != FuseStLoop {
+		t.Fatalf("store+loop fuse = %v, want %v", b.Ins[0].Fuse, FuseStLoop)
+	}
+
+	ins = []Instr{
+		{Op: OpLDW, Rd: 4, Ra: 1, Imm: 0},  // 0: load whose result ...
+		{Op: OpADDI, Rd: 5, Ra: 4, Imm: 1}, // 1: ... the next reads → FuseLoadUse
+		{Op: OpADD, Rd: 6, Ra: 5, Rb: 5},   // 2: Int pipe
+		{Op: OpSUB, Rd: 7, Ra: 6, Rb: 6},   // 3: Int pipe again → FuseSamePipe on 2
+		{Op: OpLDW, Rd: 8, Ra: 1, Imm: 4},  // 4: load, result unused by 5
+		{Op: OpSTW, Rd: 7, Ra: 1, Imm: 8},  // 5: LS pipe after LS-pipe load → FuseSamePipe on 4
+		{Op: OpHALT},                       // 6
+	}
+	d = NewDecoder(8)
+	b = d.Block(base, memWord(base, encodeAll(ins)))
+	wantFuse := []Fuse{FuseLoadUse, FuseSamePipe, FuseSamePipe, FuseNone, FuseSamePipe, FuseNone, FuseNone}
+	for i, want := range wantFuse {
+		if b.Ins[i].Fuse != want {
+			t.Errorf("ins[%d] (%v) fuse = %v, want %v", i, b.Ins[i].In.Op, b.Ins[i].Fuse, want)
+		}
+	}
+	if st := d.Stats(); st.Fused != 4 {
+		t.Fatalf("Fused = %d, want 4", st.Fused)
+	}
+}
+
+func TestDecoderHitMissStats(t *testing.T) {
+	const base = 0x8000_0000
+	words := encodeAll([]Instr{{Op: OpNOP}, {Op: OpHALT}})
+	d := NewDecoder(8)
+	w := memWord(base, words)
+	b1 := d.Block(base, w)
+	b2 := d.Block(base, w)
+	if b1 != b2 {
+		t.Fatal("second lookup did not hit the cached block")
+	}
+	if st := d.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestDecoderInvalidateRange(t *testing.T) {
+	const base = 0x8000_0000
+	words := encodeAll([]Instr{
+		{Op: OpNOP}, {Op: OpNOP}, {Op: OpNOP}, {Op: OpHALT},
+	})
+	d := NewDecoder(8)
+	w := memWord(base, words)
+	d.Block(base, w)   // covers [base, base+16)
+	d.Block(base+8, w) // covers [base+8, base+16)
+	d.Block(base+0x100, func(uint32) uint32 { return Instr{Op: OpHALT}.Encode() })
+	gen := d.Gen()
+
+	// A write before all blocks: nothing dropped, generation still bumps.
+	d.InvalidateRange(base-8, 4)
+	if d.Len() != 3 {
+		t.Fatalf("Len after miss-range = %d, want 3", d.Len())
+	}
+	if d.Gen() == gen {
+		t.Fatal("generation did not change on InvalidateRange")
+	}
+
+	// One byte into the second block's window: drops both overlapping
+	// blocks, keeps the distant one.
+	d.InvalidateRange(base+9, 1)
+	if d.Len() != 1 {
+		t.Fatalf("Len after overlap = %d, want 1 (got PCs %#x)", d.Len(), d.CachedPCs())
+	}
+	if pcs := d.CachedPCs(); len(pcs) != 1 || pcs[0] != base+0x100 {
+		t.Fatalf("CachedPCs = %#x, want [%#x]", pcs, base+0x100)
+	}
+
+	// n == 0 is a no-op: no generation bump.
+	gen = d.Gen()
+	d.InvalidateRange(base, 0)
+	if d.Gen() != gen {
+		t.Fatal("zero-length invalidation bumped the generation")
+	}
+
+	// Wrap-around near the top of the address space must not overflow.
+	d.InvalidateRange(0xFFFF_FFFC, 16)
+	if d.Len() != 1 {
+		t.Fatalf("Len after high-address range = %d, want 1", d.Len())
+	}
+}
+
+func TestDecoderInvalidateAll(t *testing.T) {
+	const base = 0x8000_0000
+	d := NewDecoder(8)
+	halt := func(uint32) uint32 { return Instr{Op: OpHALT}.Encode() }
+	d.Block(base, halt)
+	d.Block(base+0x40, halt)
+	gen := d.Gen()
+	d.InvalidateAll()
+	if d.Len() != 0 {
+		t.Fatalf("Len after InvalidateAll = %d, want 0", d.Len())
+	}
+	if d.Gen() == gen {
+		t.Fatal("generation did not change on InvalidateAll")
+	}
+	if st := d.Stats(); st.Invalidations == 0 {
+		t.Fatal("Invalidations not counted")
+	}
+}
+
+func TestDecoderFIFOEviction(t *testing.T) {
+	halt := func(uint32) uint32 { return Instr{Op: OpHALT}.Encode() }
+	d := NewDecoder(3)
+	for i := uint32(0); i < 3; i++ {
+		d.Block(0x8000_0000+i*0x40, halt)
+	}
+	// Re-hitting the oldest block must not refresh its position: FIFO, not LRU.
+	d.Block(0x8000_0000, halt)
+	d.Block(0x8000_0000+3*0x40, halt) // evicts the first-inserted block
+	if st := d.Stats(); st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+	pcs := d.CachedPCs()
+	want := []uint32{0x8000_0040, 0x8000_0080, 0x8000_00C0}
+	if len(pcs) != len(want) {
+		t.Fatalf("CachedPCs = %#x, want %#x", pcs, want)
+	}
+	for i := range want {
+		if pcs[i] != want[i] {
+			t.Fatalf("CachedPCs = %#x, want %#x", pcs, want)
+		}
+	}
+
+	// Eviction after a range invalidation skips the stale fifo entry
+	// without double-counting.
+	d.InvalidateRange(0x8000_0040, 4)
+	for i := uint32(4); i < 7; i++ {
+		d.Block(0x8000_0000+i*0x40, halt)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (cap)", d.Len())
+	}
+}
+
+func TestNewDecoderDefaultSize(t *testing.T) {
+	if NewDecoder(0).max != DefaultBlockCacheSize {
+		t.Fatal("NewDecoder(0) did not select the default capacity")
+	}
+	if NewDecoder(-5).max != DefaultBlockCacheSize {
+		t.Fatal("NewDecoder(-5) did not select the default capacity")
+	}
+}
+
+// TestReadRegsMatchesSemantics cross-checks the static read-set against the
+// operand fields each opcode actually uses, for every valid opcode.
+func TestReadRegsMatchesSemantics(t *testing.T) {
+	in := Instr{Rd: 3, Ra: 5, Rb: 7}
+	for op := Op(0); int(op) < NumOps; op++ {
+		if !op.Valid() {
+			continue
+		}
+		in.Op = op
+		var regs [3]uint8
+		n := in.ReadRegs(&regs)
+		if n < 0 || n > 3 {
+			t.Fatalf("%v: ReadRegs returned %d", op, n)
+		}
+		has := func(r uint8) bool {
+			for i := 0; i < n; i++ {
+				if regs[i] == r {
+					return true
+				}
+			}
+			return false
+		}
+		// Stores and MAC read Rd; ORIL reads its own Rd.
+		wantRd := op.IsStore() || op == OpMAC || op == OpORIL
+		if has(in.Rd) != wantRd && in.Rd != in.Ra && in.Rd != in.Rb {
+			t.Errorf("%v: reads Rd = %v, want %v", op, has(in.Rd), wantRd)
+		}
+	}
+}
+
+// FuzzDecoderBlock: building a block from arbitrary bytes never panics,
+// every decoded entry agrees with the one-word reference Decode, the block
+// respects its termination contract, and a rebuild after invalidation is
+// identical.
+func FuzzDecoderBlock(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	ins := []Instr{
+		{Op: OpLDW, Rd: 4, Ra: 1, Imm: 8},
+		{Op: OpADDI, Rd: 5, Ra: 4, Imm: 1},
+		{Op: OpSTW, Rd: 5, Ra: 1, Imm: 8},
+		{Op: OpLOOP, Ra: 9, Imm: -3},
+	}
+	seed := make([]byte, 4*len(ins))
+	for i, in := range ins {
+		binary.LittleEndian.PutUint32(seed[4*i:], in.Encode())
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const base = 0x8000_0000
+		word := func(addr uint32) uint32 {
+			i := int(addr-base) * 1 // byte offset
+			var w uint32
+			for b := 0; b < 4; b++ {
+				if i+b < len(data) {
+					w |= uint32(data[i+b]) << (8 * b)
+				}
+			}
+			return w
+		}
+		d := NewDecoder(4)
+		blk := d.Block(base, word)
+		if len(blk.Ins) == 0 || len(blk.Ins) > MaxBlockInstrs {
+			t.Fatalf("block length %d out of range", len(blk.Ins))
+		}
+		for i, di := range blk.Ins {
+			ref := Decode(di.Raw)
+			if di.Invalid {
+				if ref.Op.Valid() {
+					t.Fatalf("ins[%d] marked invalid but %#08x decodes", i, di.Raw)
+				}
+				if i != len(blk.Ins)-1 {
+					t.Fatalf("invalid entry %d is not the terminator", i)
+				}
+				continue
+			}
+			if di.In != ref {
+				t.Fatalf("ins[%d] = %+v, reference decode %+v", i, di.In, ref)
+			}
+			if di.Pipe != ref.Op.Pipe() {
+				t.Fatalf("ins[%d] pipe %v, want %v", i, di.Pipe, ref.Op.Pipe())
+			}
+			var regs [3]uint8
+			if n := ref.ReadRegs(&regs); n != int(di.NRead) || regs != di.Reads {
+				t.Fatalf("ins[%d] reads %v/%d, want %v/%d", i, di.Reads, di.NRead, regs, n)
+			}
+			// Only the last entry may be a block terminator.
+			if i != len(blk.Ins)-1 && (ref.Op.IsBranch() || ref.Op == OpHALT) {
+				t.Fatalf("branch/halt at %d is not the terminator", i)
+			}
+		}
+		// Rebuilding after invalidation must give an identical block.
+		gen := d.Gen()
+		d.InvalidateRange(base, uint32(4*len(blk.Ins)))
+		if d.Gen() == gen {
+			t.Fatal("invalidation did not bump generation")
+		}
+		again := d.Block(base, word)
+		if len(again.Ins) != len(blk.Ins) {
+			t.Fatalf("rebuild length %d, want %d", len(again.Ins), len(blk.Ins))
+		}
+		for i := range blk.Ins {
+			if again.Ins[i] != blk.Ins[i] {
+				t.Fatalf("rebuild ins[%d] = %+v, want %+v", i, again.Ins[i], blk.Ins[i])
+			}
+		}
+	})
+}

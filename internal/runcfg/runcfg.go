@@ -48,9 +48,8 @@ func Default() Run {
 // It is the one place run configurations are validated, regardless of
 // whether they came from flags, a campaign spec, or code.
 func (r Run) Validate() error {
-	if _, ok := soc.Preset(r.SoC); !ok {
-		return fmt.Errorf("runcfg: unknown SoC %q (have %s)",
-			r.SoC, strings.Join(soc.PresetNames(), ", "))
+	if _, err := soc.Preset(r.SoC); err != nil {
+		return fmt.Errorf("runcfg: %w", err)
 	}
 	if r.Cycles == 0 {
 		return fmt.Errorf("runcfg: zero cycle horizon")
@@ -66,10 +65,9 @@ func (r Run) Validate() error {
 
 // SoCConfig resolves the production SoC preset named by the run.
 func (r Run) SoCConfig() (soc.Config, error) {
-	cfg, ok := soc.Preset(r.SoC)
-	if !ok {
-		return soc.Config{}, fmt.Errorf("runcfg: unknown SoC %q (have %s)",
-			r.SoC, strings.Join(soc.PresetNames(), ", "))
+	cfg, err := soc.Preset(r.SoC)
+	if err != nil {
+		return soc.Config{}, fmt.Errorf("runcfg: %w", err)
 	}
 	return cfg, nil
 }

@@ -19,7 +19,7 @@ func TestValidate(t *testing.T) {
 		{"scenario", func(r *Run) { r.Faults = "noisy-link" }, ""},
 		{"kvplan", func(r *Run) { r.Faults = "corrupt=0.01,drop=0.002" }, ""},
 		{"clean-alias", func(r *Run) { r.Faults = "clean" }, ""},
-		{"bad-soc", func(r *Run) { r.SoC = "TC9999" }, "unknown SoC"},
+		{"bad-soc", func(r *Run) { r.SoC = "TC9999" }, "unknown preset"},
 		{"zero-cycles", func(r *Run) { r.Cycles = 0 }, "zero cycle"},
 		{"zero-res", func(r *Run) { r.Resolution = 0 }, "zero resolution"},
 		{"bad-faults", func(r *Run) { r.Faults = "bogus-scenario" }, "neither a scenario"},

@@ -46,7 +46,10 @@ const NoWake = ^uint64(0)
 // no-op — because external reschedules (see Waker) may be conservative.
 // A component whose per-cycle Tick has side effects beyond its own lazily
 // reconstructible state (RNG draws, credit accrual, watermark sampling)
-// must NOT implement Sleeper.
+// must NOT implement Sleeper. A component that is *terminally idle* is the
+// easy case: a halted CPU core has no per-cycle work at all, so it may
+// report NoWake — provided whatever un-halts it (Reset, an interrupt
+// router delivering to a halted core) reschedules via its Waker.
 type Sleeper interface {
 	Ticker
 	NextWake(from uint64) uint64

@@ -83,9 +83,10 @@ func periphHeavySoC(b *testing.B) *SoC {
 	return s
 }
 
-func benchHotLoop(b *testing.B, sched bool) {
+func benchHotLoop(b *testing.B, sched, block bool) {
 	s := periphHeavySoC(b)
 	s.Clock.SetWakeScheduling(sched)
+	s.SetBlockDecode(block)
 	b.ResetTimer()
 	s.Clock.Run(uint64(b.N))
 	b.StopTimer()
@@ -93,12 +94,14 @@ func benchHotLoop(b *testing.B, sched bool) {
 }
 
 // BenchmarkSoCHotLoop is the PR5 acceptance benchmark: simulated cycles
-// per host second on the periph-heavy mix with the wake scheduler on
-// (the default). Its NoSched twin runs the identical system with the
-// scheduler forced off, so one `go test -bench SoCHotLoop` run carries
-// its own before/after comparison.
-func BenchmarkSoCHotLoop(b *testing.B)        { benchHotLoop(b, true) }
-func BenchmarkSoCHotLoopNoSched(b *testing.B) { benchHotLoop(b, false) }
+// per host second on the periph-heavy mix with the wake scheduler and the
+// block decoder on (the defaults). Its NoSched twin runs the identical
+// system with the scheduler forced off, and the NoBlock twin with per-word
+// decode forced, so one `go test -bench SoCHotLoop` run carries its own
+// before/after comparisons for both optimizations.
+func BenchmarkSoCHotLoop(b *testing.B)        { benchHotLoop(b, true, true) }
+func BenchmarkSoCHotLoopNoSched(b *testing.B) { benchHotLoop(b, false, true) }
+func BenchmarkSoCHotLoopNoBlock(b *testing.B) { benchHotLoop(b, true, false) }
 
 // BenchmarkSoCBuild measures system assembly cost (per evaluation run).
 func BenchmarkSoCBuild(b *testing.B) {

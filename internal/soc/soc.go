@@ -11,6 +11,8 @@ package soc
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/bus"
 	"repro/internal/cache"
@@ -119,23 +121,37 @@ func TC1797DC() Config {
 	return cfg
 }
 
-// Preset returns the named production SoC configuration. Every CLI and
-// campaign spec resolves SoC names through this single table, so the
-// accepted names cannot drift between surfaces.
-func Preset(name string) (Config, bool) {
-	switch name {
-	case "TC1797":
-		return TC1797(), true
-	case "TC1767":
-		return TC1767(), true
-	case "TC1797DC":
-		return TC1797DC(), true
-	}
-	return Config{}, false
+// presets is the single registry of production SoC configurations. Preset
+// and PresetNames both derive from it, so the accepted names cannot drift
+// between the lookup and the displayed list (the failure mode the old
+// hand-kept slice invited when TC1797DC was added).
+var presets = map[string]func() Config{
+	"TC1797":   TC1797,
+	"TC1767":   TC1767,
+	"TC1797DC": TC1797DC,
 }
 
-// PresetNames lists the names Preset accepts, in display order.
-func PresetNames() []string { return []string{"TC1797", "TC1767", "TC1797DC"} }
+// Preset returns the named production SoC configuration. Every CLI and
+// campaign spec resolves SoC names through this single table; an unknown
+// name yields an error listing every accepted one.
+func Preset(name string) (Config, error) {
+	f, ok := presets[name]
+	if !ok {
+		return Config{}, fmt.Errorf("soc: unknown preset %q (have %s)",
+			name, strings.Join(PresetNames(), ", "))
+	}
+	return f(), nil
+}
+
+// PresetNames lists the names Preset accepts, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // WithED returns the Emulation Device twin of cfg (TC1797 → TC1797ED with
 // 512 KB EMEM, TC1767 → TC1767ED with 256 KB), per the paper's Figure 4.
@@ -177,6 +193,12 @@ type SoC struct {
 	EMEM    *emem.EMEM    // nil unless Cfg.ED
 	Overlay *emem.Overlay // flash data port wrapper, nil unless Cfg.ED
 
+	// Decoder is the decode-once basic-block cache shared by the TriCore
+	// cores (the PCP core decodes per-word: its PRAM doubles as its data
+	// scratchpad, so code there is trivially self-modifiable). Enabled by
+	// default; SetBlockDecode toggles it.
+	Decoder *isa.Decoder
+
 	Timers  []*periph.Timer
 	ADCs    []*periph.ADC
 	CANs    []*periph.CANNode
@@ -197,6 +219,15 @@ func New(cfg Config, seed uint64) *SoC {
 	}
 
 	s.Flash = flash.New(cfg.Flash)
+	s.Decoder = isa.NewDecoder(isa.DefaultBlockCacheSize)
+	// Any write that can change code must invalidate decoded blocks. Flash
+	// is fetched through both its cached and uncached views, so a written
+	// window invalidates under both keys.
+	s.Flash.OnWrite = func(addr uint32, n int) {
+		cached := mem.CachedView(addr)
+		s.Decoder.InvalidateRange(cached, uint32(n))
+		s.Decoder.InvalidateRange(cached-mem.DeltaUncachedToCached, uint32(n))
+	}
 	s.SRAM = mem.NewRAM("lmu", mem.SRAMBase, cfg.SRAMSize, cfg.SRAMLatency)
 	s.PSPR = mem.NewRAM("pspr", mem.PSPRBase, cfg.PSPRSize, 0)
 	s.DSPR = mem.NewRAM("dspr", mem.DSPRBase, cfg.DSPRSize, 0)
@@ -215,8 +246,16 @@ func New(cfg Config, seed uint64) *SoC {
 	if cfg.ED {
 		s.EMEM = emem.New(cfg.EMEMSize, cfg.EMEMOverlay, cfg.EMEMLatency)
 		s.Overlay = emem.NewOverlay(dataPort, s.EMEM)
+		s.Overlay.OnRemap = s.Decoder.InvalidateAll
+		s.Overlay.OnWrite = s.Flash.OnWrite
 		dataPort = s.Overlay
-		s.DLMB.Map(mem.EMEMBase, s.EMEM.Size(), s.EMEM.RAM)
+		// Data writes landing in the overlay partition can change what an
+		// overlay-mapped flash window reads as; watch them.
+		s.DLMB.Map(mem.EMEMBase, s.EMEM.Size(), codeWriteWatch{
+			t:   s.EMEM.RAM,
+			dec: s.Decoder,
+			lim: mem.EMEMBase + s.EMEM.OverlayBytes(),
+		})
 	}
 	s.DLMB.Map(mem.FlashBase, cfg.Flash.Size, dataPort)
 	s.DLMB.Map(mem.FlashUncach, cfg.Flash.Size, bus.NewAlias(dataPort, mem.DeltaUncachedToCached))
@@ -244,6 +283,7 @@ func New(cfg Config, seed uint64) *SoC {
 		tricore.DMI{DCache: dc, DSPR: s.DSPR, Bus: s.DLMB, Master: MasterCPUData, Peek: s.Peek},
 		cfg.CPUTiming, ctrs)
 	s.CPU.IRQ = s.Router.View(irq.ToCPU)
+	s.CPU.SetDecoder(s.Decoder)
 
 	if cfg.SecondCore {
 		s.PSPR1 = mem.NewRAM("pspr1", mem.PSPR1Base, cfg.PSPRSize, 0)
@@ -265,6 +305,7 @@ func New(cfg Config, seed uint64) *SoC {
 			tricore.DMI{DCache: dc1, DSPR: s.DSPR1, Bus: s.DLMB, Master: MasterCPU1Data, Peek: s.Peek},
 			cfg.CPUTiming, ctrs1)
 		s.CPU1.IRQ = s.Router.View(irq.ToCPU1)
+		s.CPU1.SetDecoder(s.Decoder)
 	}
 
 	if cfg.HasPCP {
@@ -294,6 +335,44 @@ func New(cfg Config, seed uint64) *SoC {
 	}
 	return s
 }
+
+// codeWriteWatch wraps a bus target and invalidates the decoded-block
+// cache on any write below lim — the EMEM overlay partition, whose content
+// can be fetched as code through overlay-mapped flash windows. Reads pass
+// through untouched.
+type codeWriteWatch struct {
+	t   bus.Target
+	dec *isa.Decoder
+	lim uint32
+}
+
+func (w codeWriteWatch) Name() string { return w.t.Name() }
+
+func (w codeWriteWatch) Access(grant uint64, req *bus.Request) uint64 {
+	if req.Write && req.Addr < w.lim {
+		w.dec.InvalidateAll()
+	}
+	return w.t.Access(grant, req)
+}
+
+// SetBlockDecode enables or disables the decode-once block cache on every
+// TriCore core. Disabled, the cores decode per-word exactly as before the
+// Decoder existed — the determinism reference mode. Both modes are
+// bit-for-bit identical in simulated behaviour; the toggle exists so tests
+// can prove it (it mirrors sim.Clock.SetWakeScheduling).
+func (s *SoC) SetBlockDecode(on bool) {
+	d := s.Decoder
+	if !on {
+		d = nil
+	}
+	s.CPU.SetDecoder(d)
+	if s.CPU1 != nil {
+		s.CPU1.SetDecoder(d)
+	}
+}
+
+// BlockDecode reports whether the decode-once block cache is enabled.
+func (s *SoC) BlockDecode() bool { return s.CPU.Decoder() != nil }
 
 // Peek implements the timing-free backdoor read used by caches, fetch and
 // trace decoding.
@@ -334,8 +413,10 @@ func (s *SoC) LoadProgram(p *isa.Program) {
 		s.Flash.Load(mem.CachedView(p.Base), p.Bytes())
 	case s.PSPR.Contains(p.Base, int(p.Size())):
 		s.PSPR.Write(p.Base, p.Bytes())
+		s.Decoder.InvalidateRange(p.Base, p.Size())
 	case s.PSPR1 != nil && s.PSPR1.Contains(p.Base, int(p.Size())):
 		s.PSPR1.Write(p.Base, p.Bytes())
+		s.Decoder.InvalidateRange(p.Base, p.Size())
 	case s.PRAM != nil && s.PRAM.Contains(p.Base, int(p.Size())):
 		s.PRAM.Write(p.Base, p.Bytes())
 	default:
@@ -343,9 +424,10 @@ func (s *SoC) LoadProgram(p *isa.Program) {
 	}
 }
 
-// InvalidateCaches clears the CPU caches. Calibration tools do this after
-// remapping overlay pages: the tag-only cache model otherwise keeps
-// serving pre-overlay data through the backdoor.
+// InvalidateCaches clears the CPU caches and the decoded-block cache.
+// Calibration tools do this after remapping overlay pages: the tag-only
+// cache model otherwise keeps serving pre-overlay data through the
+// backdoor, and decoded blocks would keep pre-overlay instructions.
 func (s *SoC) InvalidateCaches() {
 	if s.CPU.PMI.ICache != nil {
 		s.CPU.PMI.ICache.InvalidateAll()
@@ -353,6 +435,7 @@ func (s *SoC) InvalidateCaches() {
 	if s.CPU.DMI.DCache != nil {
 		s.CPU.DMI.DCache.InvalidateAll()
 	}
+	s.Decoder.InvalidateAll()
 }
 
 // ResetCPU starts the TriCore at entry with the stack at the top of DSPR.

@@ -1,0 +1,190 @@
+package tricore
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// This file is the decode-once fast path: issueBundleCached mirrors
+// issueBundle step for step but walks a pre-decoded isa.Block instead of
+// calling isa.Decode on every fetched word. Every timing decision — fetch
+// bandwidth and miss charging, structural hazards, scoreboard stalls, stall
+// counter attribution — runs through the same code as the per-word path
+// (fetchAvail, execute), so the two paths are bit-identical in simulated
+// behaviour; only the wall-clock cost per simulated cycle differs.
+//
+// The executor never crosses a cycle boundary: a bundle is at most one
+// cycle's worth of issue, so IRQ windows, wake scheduling and Run chunk
+// boundaries keep their per-cycle semantics unchanged.
+
+// issueBundleCached issues one cycle's bundle from the block cache.
+func (c *CPU) issueBundleCached(now uint64) {
+	d := c.dec
+	gen := d.Gen()
+	blk, idx := c.blk, c.blkIdx
+	// The hint survives from the previous cycle only if no invalidation
+	// happened and the pc still points at the hinted instruction.
+	if blk != nil && (c.blkGen != gen || idx >= len(blk.Ins) || blk.PC+uint32(idx)*4 != c.pc) {
+		blk, idx = nil, 0
+	}
+
+	var pipeBusy [3]bool
+	issued := 0
+	blocks := 0
+	width := c.Timing.IssueWidth
+	if width <= 0 || width > 3 {
+		width = 3
+	}
+
+bundle:
+	for issued < width {
+		if blk == nil {
+			blk = d.Block(c.pc, c.wordFn)
+			idx = 0
+		}
+		if !c.fetchAvail(now, c.pc, &blocks, issued) {
+			break
+		}
+		di := &blk.Ins[idx]
+		if di.Invalid {
+			panic(fmt.Sprintf("%s: illegal instruction %#08x at pc %#08x", c.Name, di.Raw, c.pc))
+		}
+		if pipeBusy[di.Pipe] {
+			break // structural hazard: pipe already claimed this cycle
+		}
+		if !c.readyD(now, di) {
+			if issued == 0 {
+				c.counters.Inc(sim.EvStallCycle)
+				if c.loadHazardD(now, di) {
+					c.counters.Inc(sim.EvStallData)
+				}
+			}
+			break
+		}
+		flow := c.execute(now, di.In)
+		pipeBusy[di.Pipe] = true
+		issued++
+		c.counters.Inc(sim.EvInstrExecuted)
+		if g := d.Gen(); g != gen {
+			// The instruction itself invalidated cached code (a store
+			// reaching flash or the overlay): the held block may be stale
+			// from the very next instruction on. Drop it and re-decode.
+			gen = g
+			blk, idx = nil, 0
+			if flow || c.halted {
+				break
+			}
+			continue
+		}
+		if c.halted {
+			blk, idx = nil, 0
+			break
+		}
+		if flow {
+			// c.pc holds the flow target (or the fall-through pc of a
+			// stalled load/store or loop exit). Keep the hint when it
+			// lands inside this block — the hot-loop back edge.
+			blk, idx = rehint(blk, c.pc)
+			break
+		}
+		idx++
+		if idx >= len(blk.Ins) {
+			blk = nil
+			continue
+		}
+
+		// Superinstruction shortcuts: di.Fuse encodes a statically known
+		// relationship with the successor at idx, letting the bundle skip
+		// or collapse the generic per-instruction checks. Every shortcut
+		// reproduces exactly what the generic loop would have done.
+		switch di.Fuse {
+		case isa.FuseSamePipe:
+			// The successor needs the pipe the head just claimed and can
+			// never issue this cycle; only its fetch timing remains.
+			if issued < width {
+				c.fetchAvail(now, c.pc, &blocks, issued)
+			}
+			break bundle
+		case isa.FuseLoadUse:
+			// The successor reads the head's load destination. Unless the
+			// value is somehow already usable (LoadUseLatency 0 on a
+			// scratchpad hit), the bundle is over after the tail's fetch.
+			if issued < width && c.fetchAvail(now, c.pc, &blocks, issued) &&
+				c.regReadyAt[di.In.Rd] <= now {
+				continue // genuinely issuable: take the generic path
+			}
+			break bundle
+		case isa.FuseStLoop:
+			// Store + LOOP dispatched as one superinstruction: the LOOP
+			// executes inline (semantics identical to execute's OpLOOP
+			// case) without another trip through the generic loop.
+			if issued >= width {
+				break bundle
+			}
+			if !c.fetchAvail(now, c.pc, &blocks, issued) {
+				break bundle
+			}
+			tail := &blk.Ins[idx]
+			if pipeBusy[isa.PipeLoop] || c.regReadyAt[tail.In.Ra] > now {
+				break bundle
+			}
+			pc := c.pc
+			v := c.regs[tail.In.Ra] - 1
+			c.writeReg(tail.In.Ra, v, now+1, false)
+			if v != 0 {
+				target := pc + uint32(tail.In.Imm)*4
+				c.counters.Inc(sim.EvBranchTaken)
+				c.pc = target
+				c.fetchValid = false
+				c.retire(now, pc, tail.In, Retired{Taken: true, Target: target})
+			} else {
+				c.stall(now, now+c.Timing.TakenPenalty, sim.EvStallFetch)
+				c.retire(now, pc, tail.In, Retired{})
+				c.pc = pc + 4
+			}
+			issued++
+			c.counters.Inc(sim.EvInstrExecuted)
+			blk, idx = rehint(blk, c.pc)
+			break bundle
+		}
+	}
+
+	c.blk, c.blkIdx = blk, idx
+	if blk != nil {
+		c.blkGen = gen
+	}
+}
+
+// rehint maps pc back into blk, returning the block and index to resume
+// at, or (nil, 0) when pc is outside the block.
+func rehint(blk *isa.Block, pc uint32) (*isa.Block, int) {
+	off := pc - blk.PC
+	if off%4 == 0 && off/4 < uint32(len(blk.Ins)) {
+		return blk, int(off / 4)
+	}
+	return nil, 0
+}
+
+// readyD is sourcesReady over a pre-decoded instruction: the read-register
+// set was computed once at block build time.
+func (c *CPU) readyD(now uint64, di *isa.DInstr) bool {
+	for i := 0; i < int(di.NRead); i++ {
+		if c.regReadyAt[di.Reads[i]] > now {
+			return false
+		}
+	}
+	return true
+}
+
+// loadHazardD is pendingLoadHazard over a pre-decoded instruction.
+func (c *CPU) loadHazardD(now uint64, di *isa.DInstr) bool {
+	for i := 0; i < int(di.NRead); i++ {
+		r := di.Reads[i]
+		if c.regReadyAt[r] > now && c.regFromLoad[r] {
+			return true
+		}
+	}
+	return false
+}

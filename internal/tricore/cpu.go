@@ -103,6 +103,15 @@ type CPU struct {
 
 	counters *sim.Counters
 
+	// Decode-once block dispatch (nil dec = per-word reference path).
+	dec    *isa.Decoder
+	wordFn func(addr uint32) uint32 // bound once; avoids a per-lookup closure
+	blk    *isa.Block               // current-block hint carried across cycles
+	blkIdx int
+	blkGen uint64 // decoder generation the hint was taken at
+
+	waker *sim.Waker // clock wake handle; nil when driven without a clock
+
 	// TraceEnabled makes the core append every retired instruction to the
 	// retire log drained by the MCDS observation block each cycle.
 	TraceEnabled bool
@@ -135,6 +144,36 @@ func New(name string, id uint32, pmi PMI, dmi DMI, timing Timing, ctrs *sim.Coun
 // block tap).
 func (c *CPU) Counters() *sim.Counters { return c.counters }
 
+// SetDecoder installs (or, with nil, removes) the decode-once block cache.
+// With a decoder, issue bundles walk pre-decoded basic blocks instead of
+// calling isa.Decode on every fetched word; behaviour is bit-identical to
+// the per-word path — only the wall-clock cost per simulated cycle changes.
+// The switch mirrors sim.Clock.SetWakeScheduling: tests flip it to prove
+// equivalence.
+func (c *CPU) SetDecoder(d *isa.Decoder) {
+	c.dec = d
+	c.blk, c.blkIdx, c.blkGen = nil, 0, 0
+	if d != nil && c.wordFn == nil {
+		c.wordFn = c.PMI.Word
+	}
+}
+
+// Decoder returns the installed block decoder (nil = per-word path).
+func (c *CPU) Decoder() *isa.Decoder { return c.dec }
+
+// NextWake implements sim.Sleeper: a halted core's Tick is a pure no-op,
+// so the clock may park it until Reset reschedules. A running core is due
+// every cycle (stall windows still burn counted cycles).
+func (c *CPU) NextWake(from uint64) uint64 {
+	if c.halted {
+		return sim.NoWake
+	}
+	return from
+}
+
+// BindWake implements sim.WakeBinder.
+func (c *CPU) BindWake(w *sim.Waker) { c.waker = w }
+
 // Reset places the core at entry with an empty pipeline. Interrupts are
 // disabled until software enables them via MTCR to ICR.
 func (c *CPU) Reset(entry uint32, sp uint32) {
@@ -142,6 +181,9 @@ func (c *CPU) Reset(entry uint32, sp uint32) {
 	c.halted = false
 	c.stallUntil = 0
 	c.fetchValid = false
+	c.blk, c.blkIdx = nil, 0
+	// A halted core is parked in the wake schedule; un-park it.
+	c.waker.Reschedule(c.waker.Cycle())
 	c.shadow = c.shadow[:0]
 	for i := range c.regs {
 		c.regs[i] = 0
@@ -239,11 +281,13 @@ func (c *CPU) stall(now, until uint64, kind sim.Event) {
 	c.stallKind = kind
 }
 
-// fetchWord supplies the instruction word at pc, charging fetch timing.
-// blocks tracks how many new block fetches this cycle already performed.
-// ok=false means the bundle must end (either a stall was scheduled, or the
-// per-cycle fetch bandwidth is exhausted).
-func (c *CPU) fetchWord(now uint64, pc uint32, blocks *int, issued int) (uint32, bool) {
+// fetchAvail charges the fetch timing for the instruction at pc and
+// reports whether its word is available this cycle. blocks tracks how many
+// new block fetches this cycle already performed. false means the bundle
+// must end (either a stall was scheduled, or the per-cycle fetch bandwidth
+// is exhausted). Both dispatch paths — per-word and block-cached — share
+// this one copy of the fetch timing model.
+func (c *CPU) fetchAvail(now uint64, pc uint32, blocks *int, issued int) bool {
 	block := pc &^ 7
 	if !c.fetchValid || c.fetchBlock != block {
 		if *blocks >= c.Timing.FetchBlocksCycle {
@@ -252,7 +296,7 @@ func (c *CPU) fetchWord(now uint64, pc uint32, blocks *int, issued int) (uint32,
 				c.counters.Inc(sim.EvStallCycle)
 				c.counters.Inc(sim.EvStallFetch)
 			}
-			return 0, false
+			return false
 		}
 		*blocks++
 		ready := c.PMI.FetchBlock(now, pc)
@@ -265,13 +309,26 @@ func (c *CPU) fetchWord(now uint64, pc uint32, blocks *int, issued int) (uint32,
 				c.counters.Inc(sim.EvStallCycle)
 				c.counters.Inc(sim.EvStallFetch)
 			}
-			return 0, false
+			return false
 		}
+	}
+	return true
+}
+
+// fetchWord supplies the instruction word at pc, charging fetch timing via
+// fetchAvail.
+func (c *CPU) fetchWord(now uint64, pc uint32, blocks *int, issued int) (uint32, bool) {
+	if !c.fetchAvail(now, pc, blocks, issued) {
+		return 0, false
 	}
 	return c.PMI.Word(pc), true
 }
 
 func (c *CPU) issueBundle(now uint64) {
+	if c.dec != nil {
+		c.issueBundleCached(now)
+		return
+	}
 	var pipeBusy [3]bool
 	issued := 0
 	blocks := 0
@@ -316,7 +373,7 @@ func (c *CPU) issueBundle(now uint64) {
 // cycle now (in-order scoreboard check).
 func (c *CPU) sourcesReady(now uint64, in isa.Instr) bool {
 	var regs [3]uint8
-	n := readRegs(in, &regs)
+	n := in.ReadRegs(&regs)
 	for i := 0; i < n; i++ {
 		if c.regReadyAt[regs[i]] > now {
 			return false
@@ -327,7 +384,7 @@ func (c *CPU) sourcesReady(now uint64, in isa.Instr) bool {
 
 func (c *CPU) pendingLoadHazard(now uint64, in isa.Instr) bool {
 	var regs [3]uint8
-	n := readRegs(in, &regs)
+	n := in.ReadRegs(&regs)
 	for i := 0; i < n; i++ {
 		r := regs[i]
 		if c.regReadyAt[r] > now && c.regFromLoad[r] {
@@ -335,31 +392,6 @@ func (c *CPU) pendingLoadHazard(now uint64, in isa.Instr) bool {
 		}
 	}
 	return false
-}
-
-// readRegs stores the registers an instruction reads into regs and returns
-// how many there are (allocation-free: this runs for every instruction).
-func readRegs(in isa.Instr, regs *[3]uint8) int {
-	switch in.Op {
-	case isa.OpNOP, isa.OpMOVI, isa.OpMOVH, isa.OpJ, isa.OpRFE, isa.OpHALT, isa.OpDBG, isa.OpCALL, isa.OpMFCR:
-		return 0
-	case isa.OpORIL:
-		regs[0] = in.Rd
-		return 1
-	case isa.OpMAC:
-		regs[0], regs[1], regs[2] = in.Rd, in.Ra, in.Rb
-		return 3
-	case isa.OpSTW, isa.OpSTB:
-		regs[0], regs[1] = in.Rd, in.Ra
-		return 2
-	case isa.OpLDW, isa.OpLDB, isa.OpLEA, isa.OpJR, isa.OpLOOP, isa.OpMTCR,
-		isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI, isa.OpSHLI, isa.OpSHRI, isa.OpSLTI:
-		regs[0] = in.Ra
-		return 1
-	default: // branches and three-register ALU
-		regs[0], regs[1] = in.Ra, in.Rb
-		return 2
-	}
 }
 
 func (c *CPU) writeReg(r uint8, v uint32, readyAt uint64, fromLoad bool) {
