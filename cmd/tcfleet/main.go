@@ -16,6 +16,8 @@
 //	            [-trace spans.json] [-metrics :addr] [-events events.jsonl]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	tcfleet run -resume dir [-workers N] [-celltimeout D] [-retries N] [flags]
+//	tcfleet run -agents host:port,... -keyfile key [-shards N] [flags]
+//	tcfleet agent -listen host:port -keyfile key [-workers N] [-metrics :addr]
 //
 // Interrupting a campaign (Ctrl-C) stops the
 // in-flight sessions and flushes the partial aggregate; with -journal,
@@ -31,6 +33,14 @@
 // hangs via heartbeats, respawns crashed workers with backoff (re-running
 // only their non-journaled cells), and produces the same byte-identical
 // aggregate as an in-process run.
+//
+// With -agents the shard workers run on remote hosts instead: each
+// shard dials a long-lived "tcfleet agent" daemon from the pool,
+// authenticates with an HMAC challenge-response over the shared
+// -keyfile, uploads its assignment, and streams the same protocol back
+// over the socket — supervision (hang detection, respawn with backoff,
+// failover to another agent) and the byte-identical aggregate carry
+// over unchanged. -shards defaults to the agent count.
 //
 // With -metrics ADDR the run serves its live telemetry over HTTP for
 // its duration: /metrics (JSON snapshot), /metrics/prom (Prometheus
@@ -52,6 +62,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -59,6 +70,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/campaign/shard"
@@ -86,6 +98,8 @@ func run(args []string) error {
 		return runAggregate(args[1:])
 	case "run":
 		return runCampaign(args[1:])
+	case "agent":
+		return runAgent(args[1:])
 	case "shard-worker":
 		// Internal: the child-process half of "tcfleet run -shards N".
 		// Protocol on stdio; never invoked by hand.
@@ -95,8 +109,67 @@ func run(args []string) error {
 		flag.Usage()
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (use \"aggregate\" or \"run\")", args[0])
+		return fmt.Errorf("unknown subcommand %q (use \"aggregate\", \"run\", or \"agent\")", args[0])
 	}
+}
+
+// runAgent is the remote-worker daemon: it listens for authenticated
+// supervisor connections and runs one shard-worker assignment per
+// connection, in-process. Pair with "tcfleet run -agents ... -keyfile
+// ..." on the supervising host; both sides must share the key file.
+func runAgent(args []string) error {
+	fs := flag.NewFlagSet("tcfleet agent", flag.ExitOnError)
+	listen := fs.String("listen", "", "address to accept supervisor connections on (host:port; \":0\" picks an ephemeral port, printed to stderr)")
+	keyFile := fs.String("keyfile", "", "shared-key file authenticating supervisors (required; same file as the supervisor's -keyfile)")
+	workers := fs.Int("workers", 0, "cap the worker pool of any single assignment (0 = trust the supervisor's spec)")
+	metricsAddr := fs.String("metrics", "", "serve agent telemetry over HTTP at this address (/metrics, /metrics/prom)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if *listen == "" {
+		return fmt.Errorf("agent: -listen is required")
+	}
+	if *keyFile == "" {
+		return fmt.Errorf("agent: -keyfile is required (unauthenticated agents would run anyone's workload)")
+	}
+	key, err := shard.LoadKey(*keyFile)
+	if err != nil {
+		return err
+	}
+
+	reg := obs.New()
+	tel := &runcfg.Telemetry{MetricsAddr: *metricsAddr}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.Handle("/metrics/prom", reg.PromHandler())
+	telAddr, closeTel, err := tel.Serve(mux)
+	if err != nil {
+		return err
+	}
+	defer closeTel()
+	if telAddr != "" {
+		fmt.Fprintf(os.Stderr, "tcfleet: agent telemetry at http://%s  (/metrics /metrics/prom)\n", telAddr)
+	}
+
+	a := &shard.Agent{
+		Key:     key,
+		Workers: *workers,
+		Obs:     reg,
+		Stderr:  os.Stderr,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "tcfleet: "+format+"\n", args...)
+		},
+	}
+	// SIGINT/SIGTERM is graceful shutdown: stop accepting, cancel live
+	// workers (they drain like a SIGTERM'd exec worker), then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return a.ListenAndServe(ctx, *listen, func(addr net.Addr) {
+		fmt.Fprintf(os.Stderr, "tcfleet: agent listening on %s\n", addr)
+	})
 }
 
 func runAggregate(args []string) error {
@@ -330,23 +403,57 @@ func runCampaign(args []string) error {
 	fmt.Fprintf(os.Stderr, "tcfleet: campaign %q: %d cells\n", m.Name, m.Size())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// Resolve the shard plan before spawning anything. Remote agents
+	// imply sharding (default: one shard per agent), and a shard count
+	// beyond the cell count is clamped — an empty worker is pure
+	// supervision overhead, so spawn exactly as many as there is work.
+	agentPool := splitList(shardCfg.Agents)
+	shards := shardCfg.Shards
+	if len(agentPool) > 0 && shards == 0 {
+		shards = len(agentPool)
+	}
+	if n := m.Size(); shards > n && n > 0 {
+		fmt.Fprintf(os.Stderr, "tcfleet: clamping -shards %d to %d (one shard per cell; empty workers would only add supervision overhead)\n", shards, n)
+		shards = n
+	}
+
 	var res2 *campaign.Result
-	if shardCfg.Shards > 1 {
-		exe, err := os.Executable()
-		if err != nil {
-			return fmt.Errorf("locating own binary for shard workers: %w", err)
+	if shards > 1 || len(agentPool) > 0 {
+		var transport shard.Transport
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "tcfleet: "+format+"\n", args...)
 		}
+		if len(agentPool) > 0 {
+			key, err := shard.LoadKey(shardCfg.KeyFile)
+			if err != nil {
+				return err
+			}
+			transport = &shard.TCPTransport{
+				Agents:           agentPool,
+				Key:              key,
+				HeartbeatTimeout: shardCfg.HeartbeatTimeout,
+				Obs:              opt.Obs,
+				Status:           opt.Status,
+				Logf:             logf,
+			}
+		} else {
+			exe, err := os.Executable()
+			if err != nil {
+				return fmt.Errorf("locating own binary for shard workers: %w", err)
+			}
+			transport = &shard.ExecTransport{Argv: []string{exe, "shard-worker"}, Stderr: os.Stderr}
+		}
+		var err error
 		res2, err = shard.Run(ctx, m, shard.Options{
 			Campaign:         opt,
-			Shards:           shardCfg.Shards,
-			Transport:        &shard.ExecTransport{Argv: []string{exe, "shard-worker"}, Stderr: os.Stderr},
+			Shards:           shards,
+			Transport:        transport,
 			HeartbeatEvery:   shardCfg.HeartbeatEvery,
 			HeartbeatTimeout: shardCfg.HeartbeatTimeout,
 			Retries:          shardCfg.ShardRetries,
 			DrainTimeout:     shardCfg.DrainTimeout,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "tcfleet: "+format+"\n", args...)
-			},
+			Logf:             logf,
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,145 @@
+// Authentication: a TCP listener accepts connections from anyone, so
+// both ends must prove key possession before a byte of campaign data
+// moves. The handshake is a mutual HMAC-SHA256 challenge-response over
+// a shared key:
+//
+//	agent      -> supervisor  ftChallenge: version || nonceA (32B random)
+//	supervisor -> agent       ftAuth:      HMAC(key, "sup"||nonceA) || nonceS
+//	agent      -> supervisor  ftAuthOK:    HMAC(key, "agent"||nonceS)
+//
+// Distinct direction labels stop a reflection attack (an impostor
+// echoing the supervisor's own MAC back at it), fresh random nonces
+// stop replay, and hmac.Equal keeps every comparison constant-time.
+// The key itself never crosses the wire, and no key-derived byte is
+// ever formatted into a log, journal, or event: a failed handshake
+// reports only that it failed.
+package shard
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+)
+
+// MinKeyLen is the minimum shared-key length LoadKey accepts: below
+// this, brute force beats the HMAC and the authentication is theater.
+const MinKeyLen = 16
+
+// nonceLen is the challenge nonce size (a full SHA-256 block's worth
+// of entropy is overkill; 32 random bytes is the conventional choice).
+const nonceLen = 32
+
+// Handshake direction labels: what each side signs is bound to its
+// role, so a MAC minted by one side can never authenticate the other.
+var (
+	labelSupervisor = []byte("tcfleet-supervisor-v1:")
+	labelAgent      = []byte("tcfleet-agent-v1:")
+)
+
+// LoadKey reads the shared authentication key from path, trimming
+// surrounding whitespace (so `openssl rand -hex 32 > key` works
+// verbatim). The file's bytes ARE the key — there is no decoding — and
+// callers must never log them.
+func LoadKey(path string) ([]byte, error) {
+	if path == "" {
+		return nil, fmt.Errorf("shard: no key file configured (remote workers require a shared key)")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: key file: %w", err)
+	}
+	key := bytes.TrimSpace(raw)
+	if len(key) < MinKeyLen {
+		return nil, fmt.Errorf("shard: key file %s holds %d key bytes, need at least %d", path, len(key), MinKeyLen)
+	}
+	return key, nil
+}
+
+// sign computes the handshake MAC for one direction over a nonce.
+func sign(key, label, nonce []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(label)
+	mac.Write(nonce)
+	return mac.Sum(nil)
+}
+
+// newNonce draws a fresh random challenge.
+func newNonce() ([]byte, error) {
+	n := make([]byte, nonceLen)
+	if _, err := rand.Read(n); err != nil {
+		return nil, fmt.Errorf("shard: nonce: %w", err)
+	}
+	return n, nil
+}
+
+// errAuth is the single, deliberately information-free authentication
+// failure: which byte differed, or whether the peer knew any key at
+// all, is exactly what an attacker probes for.
+var errAuth = fmt.Errorf("shard: peer authentication failed")
+
+// handshakeAgent runs the agent (listening) side of the handshake on
+// rw: challenge out, verify the supervisor's MAC, prove our own key.
+// On any failure the connection is unusable and the caller must close
+// it without revealing more than errAuth.
+func handshakeAgent(rw io.ReadWriter, key []byte) error {
+	nonceA, err := newNonce()
+	if err != nil {
+		return err
+	}
+	challenge := append([]byte{ProtocolVersion}, nonceA...)
+	if err := writeFrame(rw, ftChallenge, challenge); err != nil {
+		return fmt.Errorf("shard: handshake send: %w", err)
+	}
+	ft, payload, err := readFrame(rw)
+	if err != nil {
+		return fmt.Errorf("shard: handshake read: %w", err)
+	}
+	if ft != ftAuth || len(payload) != sha256.Size+nonceLen {
+		return errAuth
+	}
+	if !hmac.Equal(payload[:sha256.Size], sign(key, labelSupervisor, nonceA)) {
+		return errAuth
+	}
+	nonceS := payload[sha256.Size:]
+	if err := writeFrame(rw, ftAuthOK, sign(key, labelAgent, nonceS)); err != nil {
+		return fmt.Errorf("shard: handshake send: %w", err)
+	}
+	return nil
+}
+
+// handshakeSupervisor runs the dialing side: answer the agent's
+// challenge, then verify the agent's counter-proof so an impostor
+// listener cannot silently eat a shard's cells.
+func handshakeSupervisor(rw io.ReadWriter, key []byte) error {
+	ft, payload, err := readFrame(rw)
+	if err != nil {
+		return fmt.Errorf("shard: handshake read: %w", err)
+	}
+	if ft != ftChallenge || len(payload) != 1+nonceLen {
+		return errAuth
+	}
+	if payload[0] != ProtocolVersion {
+		return fmt.Errorf("shard: agent speaks protocol v%d, supervisor v%d", payload[0], ProtocolVersion)
+	}
+	nonceA := payload[1:]
+	nonceS, err := newNonce()
+	if err != nil {
+		return err
+	}
+	resp := append(sign(key, labelSupervisor, nonceA), nonceS...)
+	if err := writeFrame(rw, ftAuth, resp); err != nil {
+		return fmt.Errorf("shard: handshake send: %w", err)
+	}
+	ft, payload, err = readFrame(rw)
+	if err != nil {
+		return fmt.Errorf("shard: handshake read: %w", err)
+	}
+	if ft != ftAuthOK || !hmac.Equal(payload, sign(key, labelAgent, nonceS)) {
+		return errAuth
+	}
+	return nil
+}

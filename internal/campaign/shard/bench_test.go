@@ -1,0 +1,60 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// benchShardMatrix mirrors the campaign package's bench matrix: 8
+// independent cells of 50k cycles, enough parallel slack for 2 shards
+// of 2 workers each.
+func benchShardMatrix() campaign.Matrix {
+	return campaign.Matrix{
+		Name:        "bench-shard",
+		Seed:        11,
+		Seeds:       2,
+		SoCs:        []string{"TC1797"},
+		Mixes:       []string{"lean", "engine"},
+		Faults:      []string{"clean", "everything"},
+		Resolutions: []uint64{1000},
+		Cycles:      50_000,
+	}
+}
+
+// BenchmarkCampaignTCP measures the TCP transport's overhead against
+// the exec transport on an identical sharded campaign (the BENCH_pr9
+// comparison). Both transports run real worker processes doing real
+// simulation; the TCP run adds the handshake, the frame codec, and a
+// loopback socket per shard, and must stay within the ≤5% envelope —
+// the transport exists to cross hosts, not to tax the campaign.
+func BenchmarkCampaignTCP(b *testing.B) {
+	m := benchShardMatrix()
+	bench := func(b *testing.B, transport Transport) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := Run(context.Background(), m, Options{
+				Campaign:  campaign.Options{Workers: 2},
+				Shards:    2,
+				Transport: transport,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Failed > 0 || res.Completed != res.Cells {
+				b.Fatalf("completed %d/%d, failed %d", res.Completed, res.Cells, res.Failed)
+			}
+			b.ReportMetric(float64(res.SimCycles)/res.Wall.Seconds(), "simcycles/s")
+		}
+	}
+	b.Run("transport=exec", func(b *testing.B) {
+		bench(b, modeTransport("worker"))
+	})
+	b.Run("transport=tcp", func(b *testing.B) {
+		// One long-lived agent, like a real deployment; dial + handshake
+		// per shard spawn is part of the measured cost.
+		addr := startTestAgent(b, &Agent{Key: testKey})
+		bench(b, &TCPTransport{Agents: []string{addr}, Key: testKey})
+	})
+}

@@ -27,6 +27,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"repro/internal/runcfg"
 )
 
 // ProtocolVersion versions the //shard control-line protocol a worker
@@ -34,13 +36,16 @@ import (
 const ProtocolVersion = 1
 
 // Supervision defaults; Options fields left zero fall back to these.
+// The timing trio is defined in runcfg (the flag layer validates
+// against the effective fallbacks, and runcfg sits below this package
+// in the import graph) and aliased here as the package's own names.
 const (
 	// DefaultHeartbeatEvery is how often a worker emits an "hb" control
 	// line when it has no report to stream.
-	DefaultHeartbeatEvery = 500 * time.Millisecond
+	DefaultHeartbeatEvery = runcfg.DefaultShardHeartbeat
 	// DefaultHeartbeatTimeout is the supervisor's hang deadline: a shard
 	// silent for this long is presumed wedged and killed.
-	DefaultHeartbeatTimeout = 10 * time.Second
+	DefaultHeartbeatTimeout = runcfg.DefaultShardHeartbeatTimeout
 	// DefaultShardRetries is how many times a crashed/hung/torn shard is
 	// re-spawned before its remaining cells are failed.
 	DefaultShardRetries = 2
@@ -49,7 +54,7 @@ const (
 	DefaultRetryBackoff = 250 * time.Millisecond
 	// DefaultDrainTimeout bounds graceful drain on cancel: SIGTERM, wait
 	// this long, then SIGKILL.
-	DefaultDrainTimeout = 5 * time.Second
+	DefaultDrainTimeout = runcfg.DefaultShardDrainTimeout
 )
 
 // Split partitions total cell indices into contiguous, balanced,
@@ -116,37 +121,57 @@ func FormatIndexSet(indices []int) string {
 	return b.String()
 }
 
-// ParseIndexSet parses the FormatIndexSet syntax back into a sorted,
-// deduplicated index slice.
+// maxIndexSetSize bounds how many indices one ParseIndexSet call may
+// materialize. Index sets name shard assignments, so the bound only
+// needs to exceed any plausible campaign; without it, a corrupted (or
+// hostile, now that specs arrive over TCP) range like "0-2000000000"
+// would allocate gigabytes before the cell-bound check ever runs.
+const maxIndexSetSize = 1 << 22
+
+// ParseIndexSet parses the FormatIndexSet syntax back into a sorted
+// index slice. The grammar is strict — exactly what FormatIndexSet
+// emits: tokens in strictly ascending order, ranges ascending, no
+// overlaps or duplicates. A set that fails these rules was not
+// produced by FormatIndexSet, and since index sets name respawn
+// assignments, silently "repairing" one (the old tolerant behavior)
+// would mask a corrupted spec rather than surface it.
 func ParseIndexSet(s string) ([]int, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return nil, nil
 	}
-	seen := map[int]bool{}
+	var out []int
+	prev := -1 // highest index accepted so far
 	for _, tok := range strings.Split(s, ",") {
 		tok = strings.TrimSpace(tok)
-		lo, hi, found := strings.Cut(tok, "-")
+		lo, hi, isRange := strings.Cut(tok, "-")
 		a, err := strconv.Atoi(lo)
 		if err != nil || a < 0 {
 			return nil, fmt.Errorf("shard: bad index set token %q", tok)
 		}
 		b := a
-		if found {
+		if isRange {
 			b, err = strconv.Atoi(hi)
-			if err != nil || b < a {
+			if err != nil || b < 0 {
 				return nil, fmt.Errorf("shard: bad index range %q", tok)
 			}
+			if b < a {
+				return nil, fmt.Errorf("shard: descending index range %q (%d < %d)", tok, b, a)
+			}
+		}
+		if a <= prev {
+			return nil, fmt.Errorf("shard: index set token %q overlaps or descends (already covered through %d)", tok, prev)
+		}
+		if b >= maxIndexSetSize {
+			// Bounding the index bounds the materialized size too, with no
+			// overflow risk for ranges like "0-9223372036854775807".
+			return nil, fmt.Errorf("shard: index %d in token %q exceeds the %d bound", b, tok, maxIndexSetSize)
 		}
 		for i := a; i <= b; i++ {
-			seen[i] = true
+			out = append(out, i)
 		}
+		prev = b
 	}
-	out := make([]int, 0, len(seen))
-	for i := range seen {
-		out = append(out, i)
-	}
-	sort.Ints(out)
 	return out, nil
 }
 

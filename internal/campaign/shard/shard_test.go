@@ -125,6 +125,66 @@ func TestIndexSetRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParseIndexSetStrict: the parser accepts exactly FormatIndexSet's
+// output grammar. Descending, overlapping, or duplicated tokens mean
+// the spec did not come from FormatIndexSet — a corrupted respawn
+// assignment — and must be rejected with an error that names the
+// offending token, not silently "repaired".
+func TestParseIndexSetStrict(t *testing.T) {
+	for _, tc := range []struct{ in, wantErr string }{
+		{"5-2", "descending"},
+		{"1,1", "overlaps or descends"},
+		{"3,1-2", "overlaps or descends"},
+		{"0-4,4", "overlaps or descends"},
+		{"0-4,2-6", "overlaps or descends"},
+		{"7,3", "overlaps or descends"},
+		{"1-x", "bad index range"},
+		{"2--4", "bad index range"},
+	} {
+		_, err := ParseIndexSet(tc.in)
+		if err == nil {
+			t.Errorf("ParseIndexSet(%q) accepted, want rejection", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("ParseIndexSet(%q) = %v, want mention of %q", tc.in, err, tc.wantErr)
+		}
+	}
+}
+
+// FuzzParseIndexSet: whatever the parser accepts must be strictly
+// ascending and must round-trip through FormatIndexSet to an equal
+// slice — the two functions are inverses on the accepted language.
+func FuzzParseIndexSet(f *testing.F) {
+	f.Add("0-3,7,9-12")
+	f.Add("5")
+	f.Add("")
+	f.Add("3-1")
+	f.Add("0-4,2-6")
+	f.Add("1,2,3")
+	f.Fuzz(func(t *testing.T, s string) {
+		set, err := ParseIndexSet(s)
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(set); i++ {
+			if set[i] <= set[i-1] {
+				t.Fatalf("ParseIndexSet(%q) = %v is not strictly ascending", s, set)
+			}
+		}
+		if len(set) > 0 && set[0] < 0 {
+			t.Fatalf("ParseIndexSet(%q) yielded negative index %d", s, set[0])
+		}
+		back, err := ParseIndexSet(FormatIndexSet(set))
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted %q rejected: %v", FormatIndexSet(set), s, err)
+		}
+		if !reflect.DeepEqual(back, set) && !(len(back) == 0 && len(set) == 0) {
+			t.Fatalf("round trip %q -> %v -> %q -> %v", s, set, FormatIndexSet(set), back)
+		}
+	})
+}
+
 func sortInts(s []int) {
 	for i := 1; i < len(s); i++ {
 		for j := i; j > 0 && s[j] < s[j-1]; j-- {

@@ -63,7 +63,22 @@ func (e *emitter) record(idx int, r *profiling.RunReport) error {
 // 0 on a completed (or gracefully drained) shard — per-cell failures
 // are reported in-band as "fail" lines, not via the exit code — and 2
 // on unusable input (bad flags, unreadable matrix, hash mismatch).
+// Graceful drain is SIGTERM/SIGINT; RunWorker is the same entry point
+// over an explicit context for hosts (the TCP agent) that drain a
+// worker without owning its process signals.
 func WorkerMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return RunWorker(ctx, args, stdin, stdout, stderr)
+}
+
+// RunWorker runs one shard-worker assignment to completion or until
+// ctx is canceled (graceful drain: in-flight cells finish their
+// cancellation poll, completed records are already streamed, the bye
+// line closes the protocol). It is WorkerMain minus signal ownership —
+// the TCP agent runs many assignments in one process and cancels each
+// connection's worker independently.
+func RunWorker(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("shard-worker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	shardNo := fs.Int("shard", 0, "shard ordinal (for logs and protocol lines)")
@@ -111,9 +126,6 @@ func WorkerMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		subset = append(subset, cells[idx])
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	em := &emitter{w: stdout}
 	var done atomic.Int64

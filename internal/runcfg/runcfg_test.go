@@ -138,3 +138,68 @@ func TestBindSupervise(t *testing.T) {
 		}
 	}
 }
+
+// TestBindShardTimingValidation: the supervision timing cross-checks.
+// A hang deadline at or below the heartbeat period would classify every
+// healthy worker as hung; an explicit non-positive drain bound would
+// turn graceful cancel into instant SIGKILL. Both are caught at
+// bind/validate time, against the effective (defaulted) values.
+func TestBindShardTimingValidation(t *testing.T) {
+	parse := func(t *testing.T, args ...string) *Shard {
+		t.Helper()
+		fs := flag.NewFlagSet("x", flag.ContinueOnError)
+		s := BindShard(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Good configurations.
+	for _, args := range [][]string{
+		nil,
+		{"-shards", "4"},
+		{"-hb", "100ms", "-hbtimeout", "2s"},
+		{"-hbtimeout", "2s"},
+		{"-draintimeout", "1s"},
+		{"-agents", "h1:9001,h2:9001", "-keyfile", "key"},
+	} {
+		if err := parse(t, args...).Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want ok", args, err)
+		}
+	}
+
+	// -hbtimeout at or below the heartbeat period (explicit or default).
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-hb", "1s", "-hbtimeout", "1s"}, "must exceed the heartbeat period"},
+		{[]string{"-hb", "1s", "-hbtimeout", "500ms"}, "must exceed the heartbeat period"},
+		// Against the 500ms default heartbeat, not just an explicit -hb.
+		{[]string{"-hbtimeout", "200ms"}, "must exceed the heartbeat period"},
+		{[]string{"-hbtimeout", "0s"}, "must exceed the heartbeat period"},
+		{[]string{"-draintimeout", "0s"}, "must be positive"},
+		{[]string{"-draintimeout", "-1s"}, "negative"},
+		{[]string{"-agents", "h1:9001"}, "requires -keyfile"},
+		{[]string{"-keyfile", "key"}, "no effect without -agents"},
+	} {
+		err := parse(t, tc.args...).Validate()
+		if err == nil {
+			t.Errorf("Validate(%v) accepted, want error mentioning %q", tc.args, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Validate(%v) = %v, want mention of %q", tc.args, err, tc.want)
+		}
+	}
+
+	// Programmatic zero values (no flag set) keep meaning "default":
+	// only an explicit nonsense flag is rejected.
+	if err := (Shard{ShardRetries: -1}).Validate(); err != nil {
+		t.Errorf("zero-value Shard rejected: %v", err)
+	}
+	if err := (Shard{ShardRetries: -1, HeartbeatTimeout: 100 * time.Millisecond}).Validate(); err == nil {
+		t.Error("programmatic sub-heartbeat hang deadline accepted (the rule is not flag-only)")
+	}
+}
