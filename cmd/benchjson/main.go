@@ -12,7 +12,10 @@
 // the delta of the simcycles/s throughput metric when present, and exits
 // non-zero when any benchmark regressed beyond the tolerance (slower than
 // (1+tol)× the old ns/op, or below (1-tol)× the old simcycles/s) or when
-// a baseline benchmark is missing from the new report.
+// a baseline benchmark is missing from the new report. A final geomean
+// line aggregates the per-benchmark ratios and is held to the same
+// tolerance, so a fleet of small slowdowns that each slip under the
+// per-benchmark gate still fails the run.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -167,6 +171,7 @@ func runCompare(oldPath, newPath string, tol float64, w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "benchmark\told ns/op\tnew ns/op\tdelta\t%s\tverdict\n", cyclesMetric)
 	var regressions []string
+	var nsG, cycG geomean
 	for _, o := range oldRep.Results {
 		n, ok := newBy[o.Name]
 		if !ok {
@@ -177,6 +182,7 @@ func runCompare(oldPath, newPath string, tol float64, w io.Writer) error {
 		delete(newBy, o.Name)
 
 		nsDelta := n.NsOp/o.NsOp - 1
+		nsG.add(n.NsOp / o.NsOp)
 		verdict := "ok"
 		if nsDelta > tol {
 			verdict = "REGRESSION"
@@ -190,6 +196,7 @@ func runCompare(oldPath, newPath string, tol float64, w io.Writer) error {
 		if ov, ook := o.Extra[cyclesMetric]; ook && ov > 0 {
 			if nv, nok := n.Extra[cyclesMetric]; nok {
 				cd := nv/ov - 1
+				cycG.add(nv / ov)
 				cyc = fmt.Sprintf("%+.1f%%", 100*cd)
 				if cd < -tol {
 					verdict = "REGRESSION"
@@ -208,6 +215,33 @@ func runCompare(oldPath, newPath string, tol float64, w io.Writer) error {
 			fmt.Fprintf(tw, "%s\t-\t%.0f\t-\t-\tnew\n", r.Name, r.NsOp)
 		}
 	}
+
+	// Aggregate verdict: the geomean of per-benchmark ratios, gated at the
+	// same tolerance. Catches a spread of small slowdowns that each duck
+	// the per-benchmark gate, and (with a negative tolerance) doubles as a
+	// suite-wide must-be-faster gate.
+	if nsG.n > 0 {
+		nsGd := nsG.delta()
+		cyc := "-"
+		verdict := "ok"
+		if nsGd > tol {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("geomean: ns/op %+.1f%% across %d benchmark(s), tol %.0f%%",
+					100*nsGd, nsG.n, 100*tol))
+		}
+		if cycG.n > 0 {
+			cycGd := cycG.delta()
+			cyc = fmt.Sprintf("%+.1f%%", 100*cycGd)
+			if cycGd < -tol {
+				verdict = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("geomean: %s %+.1f%% across %d benchmark(s), tol %.0f%%",
+						cyclesMetric, 100*cycGd, cycG.n, 100*tol))
+			}
+		}
+		fmt.Fprintf(tw, "geomean(%d)\t\t\t%+.1f%%\t%s\t%s\n", nsG.n, 100*nsGd, cyc, verdict)
+	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
@@ -220,6 +254,30 @@ func runCompare(oldPath, newPath string, tol float64, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "no regressions beyond %.0f%% tolerance\n", 100*tol)
 	return nil
+}
+
+// geomean accumulates the geometric mean of new/old ratios in log space,
+// the standard way to average benchmark speedups (arithmetic means
+// overweight the slow benchmarks).
+type geomean struct {
+	sumLog float64
+	n      int
+}
+
+func (g *geomean) add(ratio float64) {
+	if ratio > 0 && !math.IsInf(ratio, 0) {
+		g.sumLog += math.Log(ratio)
+		g.n++
+	}
+}
+
+// delta returns the geomean expressed as a fractional delta (0.05 = the
+// suite is on (geometric) average 5% above baseline).
+func (g *geomean) delta() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return math.Exp(g.sumLog/float64(g.n)) - 1
 }
 
 // parseBench parses one "BenchmarkName-8  123  45.6 ns/op [...]" line.

@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/sim"
 )
@@ -60,6 +61,15 @@ type Cache struct {
 	rng      *sim.RNG
 	counters *sim.Counters
 	evI      [3]sim.Event // access/hit/miss events to report under
+
+	// index fast path: LineBytes is always a power of two, and set counts
+	// are in practice too. Divisions by non-constant uint32 dominate the
+	// probe cost otherwise (Lookup sits on the per-cycle fetch path).
+	lineShift uint32 // log2(LineBytes)
+	setShift  uint32 // log2(sets) when setsPow2
+	setMask   uint32 // sets-1 when setsPow2
+	setsPow2  bool
+	ways      uint32 // cfg.Ways, hoisted for the probe loop
 }
 
 // New builds a cache from cfg. kind selects which event classes lookups are
@@ -84,6 +94,13 @@ func New(cfg Config, kind string, ctrs *sim.Counters) *Cache {
 		rng:      sim.NewRNG(cfg.Seed ^ 0xCAC4E),
 		counters: ctrs,
 	}
+	c.ways = uint32(cfg.Ways)
+	c.lineShift = uint32(bits.TrailingZeros32(cfg.LineBytes))
+	if c.sets&(c.sets-1) == 0 {
+		c.setsPow2 = true
+		c.setShift = uint32(bits.TrailingZeros32(c.sets))
+		c.setMask = c.sets - 1
+	}
 	switch kind {
 	case "i":
 		c.evI = [3]sim.Event{sim.EvICacheAccess, sim.EvICacheHit, sim.EvICacheMiss}
@@ -102,7 +119,10 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Counters() *sim.Counters { return c.counters }
 
 func (c *Cache) index(addr uint32) (set, tag uint32) {
-	lineNo := addr / c.cfg.LineBytes
+	lineNo := addr >> c.lineShift
+	if c.setsPow2 {
+		return lineNo & c.setMask, lineNo >> c.setShift
+	}
 	return lineNo % c.sets, lineNo / c.sets
 }
 
@@ -112,13 +132,15 @@ func (c *Cache) set(set uint32) []line {
 }
 
 // Lookup probes the cache for addr, updating replacement state and the
-// access/hit/miss counters. It returns true on hit.
+// access/hit/miss counters. It returns true on hit. This is the hottest
+// function in the whole simulator (the fetch path probes it on every
+// block-crossing cycle), so the way slice is hoisted out of the scan.
 func (c *Cache) Lookup(addr uint32) bool {
 	c.useClock++
 	set, tag := c.index(addr)
 	c.counters.Inc(c.evI[0])
-	for i := range c.set(set) {
-		l := &c.set(set)[i]
+	for i := set * c.ways; i < (set+1)*c.ways; i++ {
+		l := &c.lines[i]
 		if l.valid && l.tag == tag {
 			l.lastUse = c.useClock
 			c.counters.Inc(c.evI[1])
@@ -133,8 +155,9 @@ func (c *Cache) Lookup(addr uint32) bool {
 // or counters (used by tests asserting ground truth).
 func (c *Cache) Probe(addr uint32) bool {
 	set, tag := c.index(addr)
-	for i := range c.set(set) {
-		l := &c.set(set)[i]
+	ways := c.set(set)
+	for i := range ways {
+		l := &ways[i]
 		if l.valid && l.tag == tag {
 			return true
 		}

@@ -9,39 +9,42 @@ import (
 	"repro/internal/soc"
 )
 
-// TestCampaignBlockDecodeDeterminism runs the same matrix twice — once with
-// every cell's SoC using the default decode-once block cache, once with
-// per-word reference decode forced — and demands byte-identical canonical
-// aggregate JSON. Together with the per-report grid in internal/profiling
-// this pins the block-dispatch contract at fleet scale: the decoded-block
-// cache is a pure wall-clock optimization with no observable effect on any
+// TestCampaignBlockDecodeDeterminism runs the same matrix in every decode
+// mode — the default chained dispatch, plain block dispatch, and per-word
+// reference decode — and demands byte-identical canonical aggregate JSON.
+// Together with the per-report grid in internal/profiling this pins the
+// dispatch contract at fleet scale: the decoded-block cache and its chain
+// links are pure wall-clock optimizations with no observable effect on any
 // simulated result.
 func TestCampaignBlockDecodeDeterminism(t *testing.T) {
 	m := testMatrix()
-	blocked, err := Run(context.Background(), m, Options{Workers: 4})
+	chained, err := Run(context.Background(), m, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if blocked.Completed != m.Size() || blocked.Failed != 0 {
-		t.Fatalf("block-decode run = %+v", blocked)
+	if chained.Completed != m.Size() || chained.Failed != 0 {
+		t.Fatalf("chained run = %+v", chained)
 	}
-	want := profileJSON(t, blocked)
+	want := profileJSON(t, chained)
 
-	perWord, err := Run(context.Background(), m, Options{
-		Workers: 4,
-		exec: func(ctx context.Context, cell Cell) (*profiling.RunReport, error) {
-			return runCellWith(ctx, cell, func(s *soc.SoC) {
-				s.SetBlockDecode(false)
-			})
-		},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if perWord.Completed != m.Size() || perWord.Failed != 0 {
-		t.Fatalf("per-word run = %+v", perWord)
-	}
-	if got := profileJSON(t, perWord); !bytes.Equal(got, want) {
-		t.Error("campaign aggregate differs between decode modes")
+	for _, mode := range []soc.DecodeMode{soc.DecodeBlock, soc.DecodeReference} {
+		mode := mode
+		res, err := Run(context.Background(), m, Options{
+			Workers: 4,
+			exec: func(ctx context.Context, cell Cell) (*profiling.RunReport, error) {
+				return runCellWith(ctx, cell, func(s *soc.SoC) {
+					s.SetBlockDecode(mode)
+				})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed != m.Size() || res.Failed != 0 {
+			t.Fatalf("%v run = %+v", mode, res)
+		}
+		if got := profileJSON(t, res); !bytes.Equal(got, want) {
+			t.Errorf("campaign aggregate differs between %v and chained modes", mode)
+		}
 	}
 }

@@ -48,13 +48,43 @@ type Controller struct {
 
 	busyUntil uint64
 	counters  sim.Counters
+	waker     *sim.Waker
 }
 
 // New creates a DMA controller mastering b with master id.
 func New(name string, b *bus.Bus, master int, router *irq.Router) *Controller {
-	return &Controller{Name: name, busRef: b, master: master, router: router,
+	c := &Controller{Name: name, busRef: b, master: master, router: router,
 		bySRNPrio: make(map[uint32]*Channel)}
+	// Leave the wake schedule when a trigger lands mid-sleep. Waker
+	// methods are nil-receiver safe, so this works unattached too.
+	router.OnRequest(irq.ToDMA, func() { c.waker.Reschedule(c.waker.Cycle()) })
+	return c
 }
+
+// NextWake implements sim.Sleeper: an idle controller with no pending
+// trigger has no per-cycle work (its Tick is a pure no-op), so the clock
+// may park it until OnRequest reschedules. While a transfer is in flight
+// (or a trigger waits behind the bus-busy window) the next Tick that does
+// anything is at busyUntil.
+func (c *Controller) NextWake(from uint64) uint64 {
+	active := false
+	for _, x := range c.channels {
+		if x.active {
+			active = true
+			break
+		}
+	}
+	if !active && !c.router.HasPending(irq.ToDMA) {
+		return sim.NoWake
+	}
+	if c.busyUntil > from {
+		return c.busyUntil
+	}
+	return from
+}
+
+// BindWake implements sim.WakeBinder.
+func (c *Controller) BindWake(w *sim.Waker) { c.waker = w }
 
 // AddChannel registers ch, triggered by trigger (an SRN with Provider
 // irq.ToDMA).

@@ -62,6 +62,11 @@ func (s *SRN) Pending() bool { return s.pending }
 type Router struct {
 	srns     []*SRN
 	counters sim.Counters
+
+	// onRequest[prov] is called on every pending-flag rise for prov.
+	// Wake-scheduled providers (PCP, DMA) register here so a request
+	// arriving while they sleep pulls them out of the wake schedule.
+	onRequest [4]func()
 }
 
 // New creates an empty router.
@@ -97,6 +102,20 @@ func (r *Router) Request(s *SRN) {
 		return
 	}
 	s.pending = true
+	if fn := r.onRequest[s.Provider]; fn != nil {
+		fn()
+	}
+}
+
+// OnRequest registers fn to run on every pending-flag rise for prov
+// (collapsed re-requests do not fire). A wake-scheduled provider uses this
+// to reschedule itself; the hook must be idempotent and cheap.
+func (r *Router) OnRequest(prov Provider, fn func()) { r.onRequest[prov] = fn }
+
+// HasPending reports whether any enabled SRN for prov is awaiting service
+// (the provider-side idle test for wake scheduling).
+func (r *Router) HasPending(prov Provider) bool {
+	return r.highestPending(prov, 0) != nil
 }
 
 // Counters exposes router-level events (none currently beyond per-SRN

@@ -1,6 +1,10 @@
 package isa
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
 
 // This file is the decode-once half of the isa API. Decode remains the
 // one-word reference primitive (disassemblers and differential tests use
@@ -55,11 +59,12 @@ func (f Fuse) String() string {
 
 // DInstr is one decoded instruction inside a cached block, carrying
 // everything the per-cycle issue loop would otherwise re-derive from the
-// word: the pipe class, the read-register set, and the fusion relationship
-// with the next instruction in the block.
+// word: the handler-table index, the pipe class, the read-register set,
+// and the fusion relationship with the next instruction in the block.
 type DInstr struct {
 	In      Instr
 	Raw     uint32 // original fetched word (diagnostics use the raw word)
+	HIdx    uint8  // threaded-dispatch handler index, resolved at decode time
 	Pipe    Pipe
 	Fuse    Fuse
 	NRead   uint8
@@ -72,6 +77,23 @@ type DInstr struct {
 // longer than this are split, which only costs an extra lookup.
 const MaxBlockInstrs = 64
 
+// ChainSlots bounds the direct successor links a block may hold. Hot
+// control flow has very low fan-out (a loop back edge, a call target, a
+// return, a fall-through), so a handful of slots captures it; colder
+// successors simply keep taking the keyed lookup.
+const ChainSlots = 4
+
+// chainLink is one direct block-to-block edge: "exiting this block to pc
+// continues in b". gen records the decoder generation the link was
+// installed at; a live link always carries the current generation, because
+// every invalidation severs all links (the check is kept as defense in
+// depth — following a stale link could execute dropped code).
+type chainLink struct {
+	pc  uint32
+	gen uint64
+	b   *Block
+}
+
 // Block is a decoded basic block: a run of instructions starting at PC
 // with no control-flow entry except the first and ending at the first
 // branch, HALT, undecodable word, or the length cap. A branch *into* the
@@ -80,6 +102,12 @@ const MaxBlockInstrs = 64
 type Block struct {
 	PC  uint32
 	Ins []DInstr
+
+	// Chain state (owned by the Decoder): bounded successor links plus the
+	// reverse edges needed to sever incoming links when this block dies.
+	links  [ChainSlots]chainLink
+	nlinks uint8
+	preds  []*Block // blocks currently holding a link to this block
 }
 
 // DecoderStats counts cache traffic for diagnostics and tests.
@@ -89,6 +117,9 @@ type DecoderStats struct {
 	Evictions     uint64
 	Invalidations uint64
 	Fused         uint64 // instruction pairs marked with a Fuse kind
+	ChainLinks    uint64 // block-to-block links installed
+	ChainFollows  uint64 // lookups served by following a chain link
+	ChainSevers   uint64 // links severed by invalidation or eviction
 }
 
 // DefaultBlockCacheSize is the block capacity a SoC-attached Decoder uses:
@@ -114,6 +145,15 @@ type Decoder struct {
 	max    int
 	gen    uint64 // bumped on every invalidation; consumers key hints on it
 	stats  DecoderStats
+
+	// obs export (nil handles are no-ops, so an uninstrumented Decoder
+	// pays only a nil check per event).
+	cHits          *obs.Counter
+	cMisses        *obs.Counter
+	cEvictions     *obs.Counter
+	cInvalidations *obs.Counter
+	cChainLinks    *obs.Counter
+	cChainSevers   *obs.Counter
 }
 
 // NewDecoder returns a Decoder caching at most maxBlocks blocks (FIFO
@@ -127,6 +167,19 @@ func NewDecoder(maxBlocks int) *Decoder {
 		fifo:   make([]uint32, 0, maxBlocks),
 		max:    maxBlocks,
 	}
+}
+
+// Instrument registers the decoder's cache-effectiveness counters on reg.
+// Safe on a nil registry (all handles stay nil no-ops). Counters are flat
+// (no shard/worker dimension), so Prometheus exposition passes the names
+// through unfolded.
+func (d *Decoder) Instrument(reg *obs.Registry) {
+	d.cHits = reg.Counter("isa_block_hits")
+	d.cMisses = reg.Counter("isa_block_misses")
+	d.cEvictions = reg.Counter("isa_block_evictions")
+	d.cInvalidations = reg.Counter("isa_block_invalidations")
+	d.cChainLinks = reg.Counter("isa_block_chain_links")
+	d.cChainSevers = reg.Counter("isa_block_chain_severs")
 }
 
 // Stats returns the cache traffic counters.
@@ -147,11 +200,45 @@ func (d *Decoder) Gen() uint64 { return d.gen }
 func (d *Decoder) Block(pc uint32, word func(addr uint32) uint32) *Block {
 	if b, ok := d.blocks[pc]; ok {
 		d.stats.Hits++
+		d.cHits.Inc()
 		return b
 	}
 	d.stats.Misses++
+	d.cMisses.Inc()
 	b := d.build(pc, word)
 	d.insert(b)
+	return b
+}
+
+// Next is the chained lookup: the block at pc, reached by exiting from.
+// If from already links to pc at the current generation the link is
+// followed directly — no map access. Otherwise it falls back to Block and,
+// when from has a free slot, installs a link so the next traversal of this
+// edge skips the lookup. from == nil degrades to a plain Block call.
+//
+// Links never outlive an invalidation (InvalidateRange/InvalidateAll sever
+// every link before dropping blocks), so a followed link always targets a
+// live block of the current generation. A capacity eviction severs only
+// the victim's own links, which is safe: the victim stays a valid decode
+// of unchanged memory, merely no longer cached.
+func (d *Decoder) Next(from *Block, pc uint32, word func(addr uint32) uint32) *Block {
+	if from != nil {
+		for i := 0; i < int(from.nlinks); i++ {
+			l := &from.links[i]
+			if l.pc == pc && l.gen == d.gen {
+				d.stats.ChainFollows++
+				return l.b
+			}
+		}
+	}
+	b := d.Block(pc, word)
+	if from != nil && from != b && int(from.nlinks) < ChainSlots {
+		from.links[from.nlinks] = chainLink{pc: pc, gen: d.gen, b: b}
+		from.nlinks++
+		b.preds = append(b.preds, from)
+		d.stats.ChainLinks++
+		d.cChainLinks.Inc()
+	}
 	return b
 }
 
@@ -167,6 +254,7 @@ func (d *Decoder) build(pc uint32, word func(addr uint32) uint32) *Block {
 			b.Ins = append(b.Ins, di)
 			break
 		}
+		di.HIdx = uint8(in.Op) // threaded dispatch: handler table is Op-indexed
 		di.Pipe = in.Op.Pipe()
 		di.NRead = uint8(in.ReadRegs(&di.Reads))
 		b.Ins = append(b.Ins, di)
@@ -219,13 +307,68 @@ func (d *Decoder) insert(b *Block) {
 		// skipped (the fifo may briefly hold stale keys).
 		victim := d.fifo[0]
 		d.fifo = d.fifo[1:]
-		if _, ok := d.blocks[victim]; ok {
+		if vb, ok := d.blocks[victim]; ok {
+			d.unlink(vb)
 			delete(d.blocks, victim)
 			d.stats.Evictions++
+			d.cEvictions.Inc()
 		}
 	}
 	d.blocks[b.PC] = b
 	d.fifo = append(d.fifo, b.PC)
+}
+
+// unlink severs every chain edge touching b: incoming links (compacted out
+// of each predecessor's slot array, freeing the slots for relinking) and
+// outgoing links (b removed from each target's pred list).
+func (d *Decoder) unlink(b *Block) {
+	for _, p := range b.preds {
+		w := 0
+		for i := 0; i < int(p.nlinks); i++ {
+			if p.links[i].b == b {
+				d.stats.ChainSevers++
+				d.cChainSevers.Inc()
+				continue
+			}
+			p.links[w] = p.links[i]
+			w++
+		}
+		for i := w; i < int(p.nlinks); i++ {
+			p.links[i] = chainLink{}
+		}
+		p.nlinks = uint8(w)
+	}
+	b.preds = nil
+	for i := 0; i < int(b.nlinks); i++ {
+		t := b.links[i].b
+		for j, p := range t.preds {
+			if p == b {
+				t.preds = append(t.preds[:j], t.preds[j+1:]...)
+				break
+			}
+		}
+		b.links[i] = chainLink{}
+		d.stats.ChainSevers++
+		d.cChainSevers.Inc()
+	}
+	b.nlinks = 0
+}
+
+// severAllLinks drops every chain edge in the cache. Invalidation calls
+// this before removing blocks so no link — whatever its generation — can
+// survive into the next generation and pin a stale target or occupy a
+// bounded slot forever.
+func (d *Decoder) severAllLinks() {
+	for _, b := range d.blocks {
+		n := uint64(b.nlinks)
+		d.stats.ChainSevers += n
+		d.cChainSevers.Add(n)
+		for i := 0; i < int(b.nlinks); i++ {
+			b.links[i] = chainLink{}
+		}
+		b.nlinks = 0
+		b.preds = nil
+	}
 }
 
 // InvalidateAll drops every cached block and bumps the generation. Called
@@ -234,10 +377,12 @@ func (d *Decoder) insert(b *Block) {
 func (d *Decoder) InvalidateAll() {
 	d.gen++
 	d.stats.Invalidations++
+	d.cInvalidations.Inc()
 	if len(d.blocks) == 0 {
 		d.fifo = d.fifo[:0]
 		return
 	}
+	d.severAllLinks()
 	for pc := range d.blocks {
 		delete(d.blocks, pc)
 	}
@@ -253,6 +398,12 @@ func (d *Decoder) InvalidateRange(addr uint32, n uint32) {
 	}
 	d.gen++
 	d.stats.Invalidations++
+	d.cInvalidations.Inc()
+	// Any generation bump invalidates every link (consumers key chain hints
+	// on the generation), so sever them all rather than only those touching
+	// dropped blocks — a survivor's stale-generation links would otherwise
+	// occupy its bounded slots forever.
+	d.severAllLinks()
 	lo, hi := uint64(addr), uint64(addr)+uint64(n)
 	removed := false
 	for pc, b := range d.blocks {

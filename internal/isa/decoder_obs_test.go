@@ -1,0 +1,87 @@
+package isa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestDecoderInstrument pins the decoder's obs export: every cache event
+// increments its counter, a nil registry is a no-op, and the flat
+// isa_block_* names pass through Prometheus exposition unfolded (they
+// carry no shard/worker ordinal to fold into a label).
+func TestDecoderInstrument(t *testing.T) {
+	const base = 0x8000_0000
+	words := encodeAll([]Instr{
+		{Op: OpJ, Off24: 1},
+		{Op: OpHALT},
+	})
+	w := memWord(base, words)
+
+	reg := obs.New()
+	d := NewDecoder(8)
+	d.Instrument(reg)
+
+	a := d.Block(base, w)      // miss
+	d.Block(base, w)           // hit
+	d.Next(a, base+4, w)       // miss + chain link
+	d.InvalidateRange(base, 4) // invalidation + sever
+
+	want := map[string]uint64{
+		"isa_block_hits":          1,
+		"isa_block_misses":        2,
+		"isa_block_invalidations": 1,
+		"isa_block_chain_links":   1,
+		"isa_block_chain_severs":  1,
+	}
+	snap := reg.Snapshot()
+	got := map[string]uint64{}
+	for _, c := range snap.Counters {
+		got[c.Name] = c.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %d, want %d", name, got[name], v)
+		}
+	}
+	st := d.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Invalidations != 1 ||
+		st.ChainLinks != 1 || st.ChainSevers != 1 {
+		t.Errorf("stats disagree with obs export: %+v", st)
+	}
+
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for name := range want {
+		if !strings.Contains(text, name+" ") {
+			t.Errorf("Prometheus exposition missing flat metric %q:\n%s", name, text)
+		}
+	}
+	if strings.Contains(text, `isa_block_hits{`) {
+		t.Errorf("flat decoder metric was label-folded:\n%s", text)
+	}
+}
+
+// TestDecoderUninstrumented proves an uninstrumented decoder (nil counter
+// handles) runs every stat path without panicking.
+func TestDecoderUninstrumented(t *testing.T) {
+	const base = 0x8000_0000
+	words := encodeAll([]Instr{
+		{Op: OpJ, Off24: 1},
+		{Op: OpHALT},
+	})
+	w := memWord(base, words)
+	d := NewDecoder(2)
+	a := d.Block(base, w)
+	d.Block(base, w)
+	d.Next(a, base+4, w)
+	d.Block(base+0x100, w) // forces an eviction at cache size 2
+	d.InvalidateAll()
+	d.Instrument(nil) // nil registry: handles stay nil no-ops
+	d.Block(base, w)
+}

@@ -358,3 +358,151 @@ func FuzzDecoderBlock(f *testing.F) {
 		}
 	})
 }
+
+func TestDecoderHandlerIndex(t *testing.T) {
+	const base = 0x8000_0000
+	words := encodeAll([]Instr{
+		{Op: OpMOVI, Rd: 2, Imm: 7},
+		{Op: OpADD, Rd: 3, Ra: 2, Rb: 2},
+		{Op: OpLDW, Rd: 4, Ra: 1, Imm: 8},
+		{Op: OpBEQ, Ra: 2, Rb: 3, Imm: 4},
+	})
+	d := NewDecoder(8)
+	b := d.Block(base, memWord(base, words))
+	for i, di := range b.Ins {
+		if di.HIdx != uint8(di.In.Op) {
+			t.Errorf("Ins[%d].HIdx = %d, want opcode %d (%v)", i, di.HIdx, di.In.Op, di.In.Op)
+		}
+	}
+}
+
+func TestDecoderChainNext(t *testing.T) {
+	const base = 0x8000_0000
+	words := encodeAll([]Instr{
+		{Op: OpJ, Off24: 1}, // block A
+		{Op: OpJ, Off24: 1}, // block B
+		{Op: OpHALT},        // block C
+	})
+	w := memWord(base, words)
+	d := NewDecoder(8)
+	a := d.Block(base, w)
+
+	// First traversal of the edge: fallback lookup plus link install.
+	b := d.Next(a, base+4, w)
+	if b.PC != base+4 {
+		t.Fatalf("Next returned block at %#x, want %#x", b.PC, base+4)
+	}
+	if st := d.Stats(); st.ChainLinks != 1 || st.ChainFollows != 0 {
+		t.Fatalf("after install: %+v", st)
+	}
+
+	// Second traversal: served by the link, no map access needed.
+	if b2 := d.Next(a, base+4, w); b2 != b {
+		t.Fatalf("Next did not follow the installed link")
+	}
+	if st := d.Stats(); st.ChainFollows != 1 {
+		t.Fatalf("after follow: %+v", st)
+	}
+
+	// nil from degrades to a plain Block lookup.
+	if c := d.Next(nil, base+8, w); c.PC != base+8 {
+		t.Fatalf("Next(nil, ...) returned block at %#x", c.PC)
+	}
+
+	// A block never links to itself.
+	if x := d.Next(a, base, w); x != a {
+		t.Fatalf("Next(a, a.PC) did not return a")
+	}
+	if st := d.Stats(); st.ChainLinks != 1 {
+		t.Fatalf("self-edge installed a link: %+v", st)
+	}
+}
+
+func TestDecoderChainSlotsBounded(t *testing.T) {
+	halt := func(uint32) uint32 { return Instr{Op: OpHALT}.Encode() }
+	d := NewDecoder(16)
+	from := d.Block(0x1000, halt)
+	for i := 1; i <= ChainSlots+2; i++ {
+		d.Next(from, 0x1000+uint32(i)*0x100, halt)
+	}
+	if got := d.Stats().ChainLinks; got != uint64(ChainSlots) {
+		t.Fatalf("ChainLinks = %d, want %d (slots must bound installs)", got, ChainSlots)
+	}
+	// A linked target follows; an overflow target keeps taking the lookup.
+	before := d.Stats().ChainFollows
+	d.Next(from, 0x1100, halt)
+	if d.Stats().ChainFollows != before+1 {
+		t.Fatal("linked edge was not followed")
+	}
+	d.Next(from, 0x1000+uint32(ChainSlots+1)*0x100, halt)
+	if d.Stats().ChainFollows != before+1 {
+		t.Fatal("overflow edge followed a link that must not exist")
+	}
+}
+
+func TestDecoderChainSeverOnInvalidate(t *testing.T) {
+	const base = 0x8000_0000
+	words := encodeAll([]Instr{
+		{Op: OpJ, Off24: 1},
+		{Op: OpHALT},
+	})
+	w := memWord(base, words)
+
+	t.Run("range", func(t *testing.T) {
+		d := NewDecoder(8)
+		a := d.Block(base, w)
+		d.Next(a, base+4, w)
+		// Invalidate a window overlapping neither block: every link must
+		// still die (the generation bump invalidates all of them), while
+		// the blocks themselves survive.
+		d.InvalidateRange(base+0x1000, 4)
+		if st := d.Stats(); st.ChainSevers != 1 {
+			t.Fatalf("ChainSevers = %d, want 1: %+v", st.ChainSevers, st)
+		}
+		if a.nlinks != 0 || len(a.preds) != 0 {
+			t.Fatalf("survivor kept chain state: nlinks=%d preds=%d", a.nlinks, len(a.preds))
+		}
+		if d.Len() != 2 {
+			t.Fatalf("non-overlapping invalidation dropped blocks: len=%d", d.Len())
+		}
+		// The freed slot is reusable at the new generation.
+		d.Next(a, base+4, w)
+		if st := d.Stats(); st.ChainLinks != 2 {
+			t.Fatalf("relink after invalidation failed: %+v", st)
+		}
+	})
+
+	t.Run("all", func(t *testing.T) {
+		d := NewDecoder(8)
+		a := d.Block(base, w)
+		d.Next(a, base+4, w)
+		d.InvalidateAll()
+		if st := d.Stats(); st.ChainSevers != 1 {
+			t.Fatalf("ChainSevers = %d, want 1: %+v", st.ChainSevers, st)
+		}
+		if a.nlinks != 0 {
+			t.Fatalf("dropped block kept links: nlinks=%d", a.nlinks)
+		}
+	})
+}
+
+func TestDecoderChainSeverOnEviction(t *testing.T) {
+	halt := func(uint32) uint32 { return Instr{Op: OpHALT}.Encode() }
+	d := NewDecoder(2)
+	a := d.Block(0x1000, halt)
+	b := d.Next(a, 0x2000, halt) // installs a→b; cache now full
+	d.Block(0x3000, halt)        // FIFO-evicts a
+	st := d.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1: %+v", st.Evictions, st)
+	}
+	if st.ChainSevers != 1 {
+		t.Fatalf("ChainSevers = %d, want 1 (victim's outgoing link): %+v", st.ChainSevers, st)
+	}
+	if a.nlinks != 0 {
+		t.Fatalf("evicted block kept links: nlinks=%d", a.nlinks)
+	}
+	if len(b.preds) != 0 {
+		t.Fatalf("target kept a pred edge to the evicted block: %d", len(b.preds))
+	}
+}

@@ -45,6 +45,7 @@ type PCP struct {
 	ContextSwitchCycles uint64
 
 	counters *sim.Counters
+	waker    *sim.Waker
 }
 
 // Timing returns the PCP core timing: single-issue, one fetch block per
@@ -59,7 +60,7 @@ func Timing() tricore.Timing {
 // New creates a PCP around core (which must have been built with Timing()
 // and a PRAM-backed PMI/DMI). router supplies irq.ToPCP requests.
 func New(core *tricore.CPU, pram *mem.RAM, router *irq.Router) *PCP {
-	return &PCP{
+	p := &PCP{
 		Core:                core,
 		PRAM:                pram,
 		router:              router,
@@ -67,7 +68,25 @@ func New(core *tricore.CPU, pram *mem.RAM, router *irq.Router) *PCP {
 		ContextSwitchCycles: 3,
 		counters:            core.Counters(),
 	}
+	// Leave the wake schedule when a channel trigger lands mid-sleep.
+	// Waker methods are nil-receiver safe, so this works unattached too.
+	router.OnRequest(irq.ToPCP, func() { p.waker.Reschedule(p.waker.Cycle()) })
+	return p
 }
+
+// NextWake implements sim.Sleeper: an idle PCP with no pending trigger has
+// no per-cycle work (its Tick is a pure no-op), so the clock may park it
+// until OnRequest reschedules. A dispatched channel keeps it due every
+// cycle (context-switch stall cycles are counted ticks, not sleep).
+func (p *PCP) NextWake(from uint64) uint64 {
+	if p.current == nil && !p.router.HasPending(irq.ToPCP) {
+		return sim.NoWake
+	}
+	return from
+}
+
+// BindWake implements sim.WakeBinder.
+func (p *PCP) BindWake(w *sim.Waker) { p.waker = w }
 
 // AddChannel binds a channel program entry to the SRN priority that
 // triggers it.

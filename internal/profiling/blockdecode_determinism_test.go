@@ -13,14 +13,14 @@ import (
 // TestBlockDecodeReportDeterminism is the PR8 analog of the wake-scheduler
 // cross-check: a full SoC with the ED observation path, a fault scenario
 // and the whole trace pipeline must produce a byte-identical RunReport
-// whether the decode-once block cache is on (the default) or forced off
-// (per-word reference decode). Any drift means the cached path issued,
-// stalled, or retired differently from the reference issue loop.
+// in every decode mode — chained block dispatch (the default), plain block
+// dispatch, or the per-word reference. Any drift means a cached path
+// issued, stalled, or retired differently from the reference issue loop.
 func TestBlockDecodeReportDeterminism(t *testing.T) {
-	run := func(block bool) []byte {
+	run := func(mode soc.DecodeMode) []byte {
 		spec := stdSpec()
 		s, app := buildApp(t, soc.TC1797().WithED(), spec)
-		s.SetBlockDecode(block)
+		s.SetBlockDecode(mode)
 		plan, err := fault.Parse("noisy-link", spec.Seed)
 		if err != nil {
 			t.Fatal(err)
@@ -44,10 +44,11 @@ func TestBlockDecodeReportDeterminism(t *testing.T) {
 		}
 		return buf.Bytes()
 	}
-	on := run(true)
-	off := run(false)
-	if !bytes.Equal(on, off) {
-		t.Fatalf("RunReport differs between decode modes:\n--- block ---\n%s\n--- per-word ---\n%s", on, off)
+	ref := run(soc.DecodeReference)
+	for _, mode := range []soc.DecodeMode{soc.DecodeBlock, soc.DecodeChained} {
+		if got := run(mode); !bytes.Equal(got, ref) {
+			t.Fatalf("RunReport differs between decode modes:\n--- %v ---\n%s\n--- reference ---\n%s", mode, got, ref)
+		}
 	}
 }
 
@@ -59,7 +60,7 @@ func TestBlockDecodeDeterminismGrid(t *testing.T) {
 			for _, scenario := range []string{"clean", "soft-errors"} {
 				preset, mix, scenario := preset, mix, scenario
 				t.Run(preset+"/"+mix+"/"+scenario, func(t *testing.T) {
-					run := func(block bool) []byte {
+					run := func(mode soc.DecodeMode) []byte {
 						spec, ok := workload.Mix(mix, 17)
 						if !ok {
 							t.Fatalf("unknown mix %q", mix)
@@ -69,7 +70,7 @@ func TestBlockDecodeDeterminismGrid(t *testing.T) {
 							t.Fatal(err)
 						}
 						s := soc.New(cfg.WithED(), 17)
-						s.SetBlockDecode(block)
+						s.SetBlockDecode(mode)
 						app, err := workload.Build(s, spec)
 						if err != nil {
 							t.Fatal(err)
@@ -94,8 +95,11 @@ func TestBlockDecodeDeterminismGrid(t *testing.T) {
 						}
 						return buf.Bytes()
 					}
-					if on, off := run(true), run(false); !bytes.Equal(on, off) {
-						t.Fatalf("%s/%s/%s: RunReport differs between decode modes", preset, mix, scenario)
+					ref := run(soc.DecodeReference)
+					for _, mode := range []soc.DecodeMode{soc.DecodeBlock, soc.DecodeChained} {
+						if !bytes.Equal(run(mode), ref) {
+							t.Fatalf("%s/%s/%s: RunReport differs between %v and reference", preset, mix, scenario, mode)
+						}
 					}
 				})
 			}

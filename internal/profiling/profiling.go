@@ -302,6 +302,7 @@ func NewSession(s *soc.SoC, spec Spec) *Session {
 
 	if spec.Obs != nil {
 		s.EMEM.Instrument(spec.Obs)
+		s.Decoder.Instrument(spec.Obs)
 		m.Instrument(spec.Obs)
 		if sess.DAP != nil {
 			sess.DAP.Instrument(spec.Obs)

@@ -56,7 +56,7 @@ func TestWakeSchedulerReportDeterminism(t *testing.T) {
 // named workload mixes (different periph populations and periods) on the
 // cheap no-DAP path.
 func TestWakeSchedulerDeterminismAcrossMixes(t *testing.T) {
-	for _, mix := range []string{"engine", "canheavy", "lean"} {
+	for _, mix := range []string{"engine", "canheavy", "lean", "dmaflow", "branchy"} {
 		mix := mix
 		t.Run(mix, func(t *testing.T) {
 			run := func(scheduled bool) []byte {

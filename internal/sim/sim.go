@@ -89,6 +89,7 @@ func (w *Waker) Reschedule(next uint64) {
 		return
 	}
 	w.c.wake[w.i] = next
+	w.c.resched = true
 }
 
 // Clock drives the simulation. Components are stepped in registration
@@ -112,6 +113,7 @@ type Clock struct {
 	wakeEnabled bool // SetWakeScheduling state (default true)
 	scheduling  bool // wakeEnabled && numSleepers > 0
 	skippable   bool // scheduling && every ticker is a Sleeper
+	resched     bool // a Waker.Reschedule happened (invalidates solo runs)
 
 	obs *clockObs // nil when the clock is not instrumented
 }
@@ -346,9 +348,82 @@ func (c *Clock) runTo(end uint64) {
 				continue
 			}
 			o.sampleIn--
+			c.stepPlain()
+			continue
+		}
+		if c.scheduling && c.soloRun(end) {
+			continue
 		}
 		c.stepPlain()
 	}
+}
+
+// soloRun is the single-runner fast path: when exactly one ticker is due
+// this cycle and every other component sleeps strictly later, the clock
+// ticks the solo component in a tight loop — no per-cycle schedule scan —
+// until another wake comes due, a Reschedule perturbs the schedule, the
+// solo component goes to sleep, or end. It returns false (having done
+// nothing) when the cycle is not solo, leaving stepPlain to dispatch it.
+// The delivered Tick sequence is bit-identical to stepPlain's: same
+// cycles, same NextWake(cycle+1) requery after every Tick.
+func (c *Clock) soloRun(end uint64) bool {
+	cy := c.cycle
+	solo := -1
+	next := NoWake // earliest wake among the other tickers
+	for i, w := range c.wake {
+		if w > cy {
+			if w < next {
+				next = w
+			}
+			continue
+		}
+		if solo >= 0 {
+			return false // two runners due: generic dispatch
+		}
+		solo = i
+	}
+	if solo < 0 {
+		return false // quiescent cycle: the skippable bulk skip handles it
+	}
+	if next > end {
+		next = end
+	}
+	t := c.tickers[solo]
+	s := c.sleepers[solo]
+	c.resched = false
+	for cy < next {
+		t.Tick(cy)
+		if c.resched {
+			// A Tick side effect moved someone's wake — possibly to this
+			// very cycle. stepPlain's scan would still reach any
+			// later-registered ticker whose wake just landed on cy (and
+			// would have already passed any earlier-registered one), so
+			// finish this cycle exactly that way, then hand back.
+			if s != nil {
+				c.wake[solo] = s.NextWake(cy + 1)
+			}
+			for i := solo + 1; i < len(c.tickers); i++ {
+				if c.wake[i] > cy {
+					continue
+				}
+				c.tickers[i].Tick(cy)
+				if si := c.sleepers[i]; si != nil {
+					c.wake[i] = si.NextWake(cy + 1)
+				}
+			}
+			c.cycle = cy + 1
+			return true
+		}
+		cy++
+		c.cycle = cy
+		if s != nil {
+			if w := s.NextWake(cy); w > cy {
+				c.wake[solo] = w
+				return true
+			}
+		}
+	}
+	return true
 }
 
 // RunUntil advances the simulation until done returns true or the cycle

@@ -175,6 +175,78 @@ func TestDisabledSleeperParksUntilRescheduled(t *testing.T) {
 	}
 }
 
+func TestSoloRescheduleLaterSleeperSameCycle(t *testing.T) {
+	// A solo-running always-on ticker wakes a later-registered parked
+	// sleeper mid-tick, targeting the *current* cycle. stepPlain's scan
+	// order delivers that tick on the same cycle (the scan has not reached
+	// the sleeper yet), so the solo fast path must finish the cycle
+	// generically rather than deferring the wake by one cycle.
+	run := func(scheduled bool) []uint64 {
+		c := NewClock()
+		c.SetWakeScheduling(scheduled)
+		p := &periodic{period: 1, enabled: false}
+		c.Attach("solo", TickerFunc(func(cy uint64) {
+			switch cy {
+			case 50:
+				p.enabled = true
+				p.waker.Reschedule(cy)
+			case 60:
+				p.enabled = false
+			}
+		}))
+		c.Attach("p", p)
+		c.Run(100)
+		return p.fired
+	}
+	on, off := run(true), run(false)
+	if len(off) == 0 || off[0] != 50 {
+		t.Fatalf("always-on baseline fired %v, want first fire at 50", off)
+	}
+	if len(on) != len(off) {
+		t.Fatalf("scheduler on fired %v, off fired %v", on, off)
+	}
+	for i := range on {
+		if on[i] != off[i] {
+			t.Fatalf("fire %d: on=%d off=%d", i, on[i], off[i])
+		}
+	}
+}
+
+func TestSoloRescheduleEarlierSleeperNextCycle(t *testing.T) {
+	// Mirror case: the woken sleeper is registered *before* the solo
+	// ticker, so stepPlain's scan has already passed it and the tick lands
+	// on the next cycle. The solo fast path must not deliver it early.
+	run := func(scheduled bool) []uint64 {
+		c := NewClock()
+		c.SetWakeScheduling(scheduled)
+		p := &periodic{period: 1, enabled: false}
+		c.Attach("p", p)
+		c.Attach("solo", TickerFunc(func(cy uint64) {
+			switch cy {
+			case 50:
+				p.enabled = true
+				p.waker.Reschedule(cy)
+			case 60:
+				p.enabled = false
+			}
+		}))
+		c.Run(100)
+		return p.fired
+	}
+	on, off := run(true), run(false)
+	if len(off) == 0 || off[0] != 51 {
+		t.Fatalf("always-on baseline fired %v, want first fire at 51", off)
+	}
+	if len(on) != len(off) {
+		t.Fatalf("scheduler on fired %v, off fired %v", on, off)
+	}
+	for i := range on {
+		if on[i] != off[i] {
+			t.Fatalf("fire %d: on=%d off=%d", i, on[i], off[i])
+		}
+	}
+}
+
 func TestRunUntilDoesNotReevaluateDoneAtLimit(t *testing.T) {
 	c := NewClock()
 	c.Attach("t", TickerFunc(func(uint64) {}))

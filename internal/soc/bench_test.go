@@ -83,10 +83,10 @@ func periphHeavySoC(b *testing.B) *SoC {
 	return s
 }
 
-func benchHotLoop(b *testing.B, sched, block bool) {
+func benchHotLoop(b *testing.B, sched bool, mode DecodeMode) {
 	s := periphHeavySoC(b)
 	s.Clock.SetWakeScheduling(sched)
-	s.SetBlockDecode(block)
+	s.SetBlockDecode(mode)
 	b.ResetTimer()
 	s.Clock.Run(uint64(b.N))
 	b.StopTimer()
@@ -94,14 +94,70 @@ func benchHotLoop(b *testing.B, sched, block bool) {
 }
 
 // BenchmarkSoCHotLoop is the PR5 acceptance benchmark: simulated cycles
-// per host second on the periph-heavy mix with the wake scheduler and the
-// block decoder on (the defaults). Its NoSched twin runs the identical
-// system with the scheduler forced off, and the NoBlock twin with per-word
-// decode forced, so one `go test -bench SoCHotLoop` run carries its own
-// before/after comparisons for both optimizations.
-func BenchmarkSoCHotLoop(b *testing.B)        { benchHotLoop(b, true, true) }
-func BenchmarkSoCHotLoopNoSched(b *testing.B) { benchHotLoop(b, false, true) }
-func BenchmarkSoCHotLoopNoBlock(b *testing.B) { benchHotLoop(b, true, false) }
+// per host second on the periph-heavy mix with the wake scheduler and
+// chained block dispatch on (the defaults). Its NoSched twin runs the
+// identical system with the scheduler forced off, the NoChain twin with
+// plain block dispatch, and the NoBlock twin with per-word decode forced,
+// so one `go test -bench SoCHotLoop` run carries its own before/after
+// comparisons for every optimization rung.
+func BenchmarkSoCHotLoop(b *testing.B)        { benchHotLoop(b, true, DecodeChained) }
+func BenchmarkSoCHotLoopNoSched(b *testing.B) { benchHotLoop(b, false, DecodeChained) }
+func BenchmarkSoCHotLoopNoChain(b *testing.B) { benchHotLoop(b, true, DecodeBlock) }
+func BenchmarkSoCHotLoopNoBlock(b *testing.B) { benchHotLoop(b, true, DecodeReference) }
+
+// branchySoC builds the branch-proof acceptance system: a ring of
+// single-instruction blocks closed by zero-overhead LOOP back edges, so
+// nearly every simulated cycle crosses a block boundary via taken control
+// flow. Block-entry lookup cost dominates and the chained-vs-block delta
+// is isolated: each ring block has exactly one successor, the best case
+// for the bounded chain slots and the worst case for the PC-keyed map.
+// The ring lives in the program scratchpad — the paper's flash-avoidance
+// mapping for hot control code — so fetch timing stays out of the way of
+// what this benchmark isolates.
+func branchySoC(b *testing.B) *SoC {
+	b.Helper()
+	s := New(TC1797(), 1)
+	// Ring size: enough distinct blocks that the PC-keyed map works at a
+	// realistic branchy-code footprint (hundreds of live blocks) instead
+	// of a toy L1-resident handful, while staying well under the decoder's
+	// DefaultBlockCacheSize so neither mode thrashes decode.
+	const ring = 500
+	a := isa.NewAsm(mem.PSPRBase)
+	a.Movw(3, 1<<30)
+	a.J(fmt.Sprintf("ring%d", ring))
+	// Restart edge: the only forward hop per revolution.
+	a.Label("ring0")
+	a.J(fmt.Sprintf("ring%d", ring))
+	// LOOP branches backward, so the ring descends ringN -> ... -> ring0.
+	for i := 1; i <= ring; i++ {
+		a.Label(fmt.Sprintf("ring%d", i))
+		a.Loop(3, fmt.Sprintf("ring%d", i-1))
+	}
+	a.Halt() // counter exhausted: the last LOOP falls through here
+	p, err := a.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.LoadProgram(p)
+	s.ResetCPU(p.Base)
+	return s
+}
+
+func benchBranchy(b *testing.B, mode DecodeMode) {
+	s := branchySoC(b)
+	s.SetBlockDecode(mode)
+	b.ResetTimer()
+	s.Clock.Run(uint64(b.N))
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+// BenchmarkSoCBranchy is the PR10 acceptance benchmark: the branch-heavy
+// kernel under chained dispatch, with twins pinning plain block dispatch
+// and the per-word reference so one run carries the chaining delta.
+func BenchmarkSoCBranchy(b *testing.B)        { benchBranchy(b, DecodeChained) }
+func BenchmarkSoCBranchyBlock(b *testing.B)   { benchBranchy(b, DecodeBlock) }
+func BenchmarkSoCBranchyNoBlock(b *testing.B) { benchBranchy(b, DecodeReference) }
 
 // BenchmarkSoCBuild measures system assembly cost (per evaluation run).
 func BenchmarkSoCBuild(b *testing.B) {

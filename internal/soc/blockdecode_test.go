@@ -38,14 +38,14 @@ func TestPresetLookup(t *testing.T) {
 }
 
 func TestSetBlockDecode(t *testing.T) {
-	run := func(block bool) (uint64, uint64, uint32) {
+	run := func(mode DecodeMode) (uint64, uint64, uint32) {
 		s := New(TC1797(), 1)
-		if !s.BlockDecode() {
-			t.Fatal("block decode must be on by default")
+		if s.BlockDecode() != DecodeChained {
+			t.Fatalf("default decode mode = %v, want chained", s.BlockDecode())
 		}
-		s.SetBlockDecode(block)
-		if s.BlockDecode() != block {
-			t.Fatalf("BlockDecode() = %v after SetBlockDecode(%v)", s.BlockDecode(), block)
+		s.SetBlockDecode(mode)
+		if s.BlockDecode() != mode {
+			t.Fatalf("BlockDecode() = %v after SetBlockDecode(%v)", s.BlockDecode(), mode)
 		}
 		a := isa.NewAsm(mem.FlashBase)
 		a.Movw(1, mem.SRAMBase)
@@ -62,7 +62,7 @@ func TestSetBlockDecode(t *testing.T) {
 		if !ok {
 			t.Fatal("did not halt")
 		}
-		if block {
+		if mode != DecodeReference {
 			// The hot loop may be served entirely from the executor's block
 			// hint (no repeated lookups), but the block must have been built.
 			if st := s.Decoder.Stats(); st.Misses == 0 || s.Decoder.Len() == 0 {
@@ -71,11 +71,13 @@ func TestSetBlockDecode(t *testing.T) {
 		}
 		return cy, s.CPU.Counters().Get(sim.EvInstrExecuted), s.CPU.Reg(2)
 	}
-	cyOn, inOn, r2On := run(true)
-	cyOff, inOff, r2Off := run(false)
-	if cyOn != cyOff || inOn != inOff || r2On != r2Off {
-		t.Errorf("block decode changed behaviour: on (%d,%d,%d) vs off (%d,%d,%d)",
-			cyOn, inOn, r2On, cyOff, inOff, r2Off)
+	cyRef, inRef, r2Ref := run(DecodeReference)
+	for _, mode := range []DecodeMode{DecodeBlock, DecodeChained} {
+		cy, in, r2 := run(mode)
+		if cy != cyRef || in != inRef || r2 != r2Ref {
+			t.Errorf("%v changed behaviour: (%d,%d,%d) vs reference (%d,%d,%d)",
+				mode, cy, in, r2, cyRef, inRef, r2Ref)
+		}
 	}
 }
 

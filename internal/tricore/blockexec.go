@@ -30,7 +30,9 @@ func (c *CPU) issueBundleCached(now uint64) {
 		blk, idx = nil, 0
 	}
 
-	var pipeBusy [3]bool
+	// [4]bool with &3 indexing: Pipe is 0..2 by construction, the mask
+	// just proves it to the compiler (no bounds check on the hot path).
+	var pipeBusy [4]bool
 	issued := 0
 	blocks := 0
 	width := c.Timing.IssueWidth
@@ -41,7 +43,15 @@ func (c *CPU) issueBundleCached(now uint64) {
 bundle:
 	for issued < width {
 		if blk == nil {
-			blk = d.Block(c.pc, c.wordFn)
+			// Chained lookup: if the previous bundle ended by exiting a
+			// block via taken control flow, follow (or install) a direct
+			// block-to-block link instead of the PC-keyed map lookup.
+			if from := c.chainFrom; from != nil && c.chainGen == gen {
+				blk = d.Next(from, c.pc, c.wordFn)
+			} else {
+				blk = d.Block(c.pc, c.wordFn)
+			}
+			c.chainFrom = nil
 			idx = 0
 		}
 		if !c.fetchAvail(now, c.pc, &blocks, issued) {
@@ -51,7 +61,7 @@ bundle:
 		if di.Invalid {
 			panic(fmt.Sprintf("%s: illegal instruction %#08x at pc %#08x", c.Name, di.Raw, c.pc))
 		}
-		if pipeBusy[di.Pipe] {
+		if pipeBusy[di.Pipe&3] {
 			break // structural hazard: pipe already claimed this cycle
 		}
 		if !c.readyD(now, di) {
@@ -63,8 +73,10 @@ bundle:
 			}
 			break
 		}
-		flow := c.execute(now, di.In)
-		pipeBusy[di.Pipe] = true
+		// Threaded dispatch: the handler index was resolved at decode time,
+		// so intra-block execution never re-examines the opcode tag.
+		flow := handlers[di.HIdx](c, now, di.In)
+		pipeBusy[di.Pipe&3] = true
 		issued++
 		c.counters.Inc(sim.EvInstrExecuted)
 		if g := d.Gen(); g != gen {
@@ -85,8 +97,10 @@ bundle:
 		if flow {
 			// c.pc holds the flow target (or the fall-through pc of a
 			// stalled load/store or loop exit). Keep the hint when it
-			// lands inside this block — the hot-loop back edge.
-			blk, idx = rehint(blk, c.pc)
+			// lands inside this block — the hot-loop back edge. When it
+			// leaves the block, remember the exited block so the next
+			// lookup can chain.
+			blk, idx = c.rehintChain(blk, gen)
 			break
 		}
 		idx++
@@ -146,7 +160,7 @@ bundle:
 			}
 			issued++
 			c.counters.Inc(sim.EvInstrExecuted)
-			blk, idx = rehint(blk, c.pc)
+			blk, idx = c.rehintChain(blk, gen)
 			break bundle
 		}
 	}
@@ -165,6 +179,19 @@ func rehint(blk *isa.Block, pc uint32) (*isa.Block, int) {
 		return blk, int(off / 4)
 	}
 	return nil, 0
+}
+
+// rehintChain is rehint plus chain capture: when the flow target leaves
+// blk and chaining is on, the exited block is remembered (with the
+// generation it is known valid at) so the next lookup goes through
+// Decoder.Next. Callers must only use it when no invalidation happened
+// during the exiting instruction — the gen-bump path drops hints instead.
+func (c *CPU) rehintChain(blk *isa.Block, gen uint64) (*isa.Block, int) {
+	nb, ni := rehint(blk, c.pc)
+	if nb == nil && c.chain {
+		c.chainFrom, c.chainGen = blk, gen
+	}
+	return nb, ni
 }
 
 // readyD is sourcesReady over a pre-decoded instruction: the read-register

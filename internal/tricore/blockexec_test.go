@@ -23,14 +23,37 @@ func (r *rig) enableDecoder() *isa.Decoder {
 	return d
 }
 
+// dispatchMode mirrors soc.DecodeMode for the rig-level tests (tricore
+// cannot import soc).
+type dispatchMode uint8
+
+const (
+	modeRef dispatchMode = iota
+	modeBlock
+	modeChained
+)
+
+func (m dispatchMode) String() string {
+	switch m {
+	case modeRef:
+		return "reference"
+	case modeBlock:
+		return "block"
+	case modeChained:
+		return "chained"
+	}
+	return "??"
+}
+
 // runObserved executes the program on a fresh rig and returns the complete
 // retire stream, the final counter values, register file, and cycle count.
-func runObserved(t *testing.T, opt rigOpt, prog *isa.Program, limit uint64, block bool) (
+func runObserved(t *testing.T, opt rigOpt, prog *isa.Program, limit uint64, mode dispatchMode) (
 	[]Retired, sim.Counters, [isa.NumRegs]uint32, uint64) {
 	t.Helper()
 	r := newRig(t, opt)
-	if block {
+	if mode != modeRef {
 		r.enableDecoder()
+		r.cpu.SetChaining(mode == modeChained)
 	}
 	r.cpu.TraceEnabled = true
 	var retired []Retired
@@ -49,35 +72,36 @@ func runObserved(t *testing.T, opt rigOpt, prog *isa.Program, limit uint64, bloc
 	return retired, *r.cpu.Counters(), regs, n
 }
 
-// diffRun runs prog with the block decoder on and off and requires every
-// observable — retire stream, counters, registers, cycles — to match
-// exactly.
+// diffRun runs prog in every dispatch mode and requires every observable —
+// retire stream, counters, registers, cycles — to match the per-word
+// reference exactly.
 func diffRun(t *testing.T, opt rigOpt, prog *isa.Program, limit uint64) {
 	t.Helper()
-	retOff, ctrOff, regOff, cycOff := runObserved(t, opt, prog, limit, false)
-	retOn, ctrOn, regOn, cycOn := runObserved(t, opt, prog, limit, true)
-
-	if cycOff != cycOn {
-		t.Fatalf("cycle count diverged: per-word %d, block %d", cycOff, cycOn)
-	}
-	if regOff != regOn {
-		t.Fatalf("register file diverged:\nper-word %v\nblock    %v", regOff, regOn)
-	}
-	if ctrOff != ctrOn {
-		for ev := 0; ev < sim.NumEvents; ev++ {
-			if ctrOff[ev] != ctrOn[ev] {
-				t.Errorf("counter %v diverged: per-word %d, block %d",
-					sim.Event(ev), ctrOff[ev], ctrOn[ev])
-			}
+	retRef, ctrRef, regRef, cycRef := runObserved(t, opt, prog, limit, modeRef)
+	for _, mode := range []dispatchMode{modeBlock, modeChained} {
+		ret, ctr, reg, cyc := runObserved(t, opt, prog, limit, mode)
+		if cycRef != cyc {
+			t.Fatalf("cycle count diverged: per-word %d, %v %d", cycRef, mode, cyc)
 		}
-		t.FailNow()
-	}
-	if len(retOff) != len(retOn) {
-		t.Fatalf("retire stream length diverged: per-word %d, block %d", len(retOff), len(retOn))
-	}
-	for i := range retOff {
-		if retOff[i] != retOn[i] {
-			t.Fatalf("retired[%d] diverged:\nper-word %+v\nblock    %+v", i, retOff[i], retOn[i])
+		if regRef != reg {
+			t.Fatalf("register file diverged:\nper-word %v\n%v %v", regRef, mode, reg)
+		}
+		if ctrRef != ctr {
+			for ev := 0; ev < sim.NumEvents; ev++ {
+				if ctrRef[ev] != ctr[ev] {
+					t.Errorf("counter %v diverged: per-word %d, %v %d",
+						sim.Event(ev), ctrRef[ev], mode, ctr[ev])
+				}
+			}
+			t.FailNow()
+		}
+		if len(retRef) != len(ret) {
+			t.Fatalf("retire stream length diverged: per-word %d, %v %d", len(retRef), mode, len(ret))
+		}
+		for i := range retRef {
+			if retRef[i] != ret[i] {
+				t.Fatalf("retired[%d] diverged:\nper-word %+v\n%v %+v", i, retRef[i], mode, ret[i])
+			}
 		}
 	}
 }
@@ -283,9 +307,9 @@ func TestBlockDecodeSelfModify(t *testing.T) {
 	}
 	prog := &isa.Program{Base: mem.FlashBase, Words: words}
 
-	for _, block := range []bool{false, true} {
-		t.Run(fmt.Sprintf("block=%v", block), func(t *testing.T) {
-			_, _, regs, _ := runObserved(t, rigOpt{}, prog, 10000, block)
+	for _, mode := range []dispatchMode{modeRef, modeBlock, modeChained} {
+		t.Run(fmt.Sprintf("mode=%v", mode), func(t *testing.T) {
+			_, _, regs, _ := runObserved(t, rigOpt{}, prog, 10000, mode)
 			if regs[4] != 1 {
 				t.Fatalf("r4 = %d, want 1 (the patched instruction)", regs[4])
 			}
@@ -294,36 +318,93 @@ func TestBlockDecodeSelfModify(t *testing.T) {
 	diffRun(t, rigOpt{}, prog, 10000)
 }
 
-// TestBlockDispatchZeroAlloc pins the warmed block-dispatch hot path at
-// zero heap allocations per simulated chunk, matching the PR5 zero-alloc
-// gates on the trace path.
+// TestBlockDispatchZeroAlloc pins the warmed block- and chained-dispatch
+// hot paths at zero heap allocations per simulated chunk, matching the PR5
+// zero-alloc gates on the trace path.
 func TestBlockDispatchZeroAlloc(t *testing.T) {
-	r := newRig(t, rigOpt{icache: true})
-	r.enableDecoder()
-	// Hot loop: ldw/addi/stw/loop — the periph-heavy bench kernel shape.
+	for _, mode := range []dispatchMode{modeBlock, modeChained} {
+		t.Run(fmt.Sprintf("mode=%v", mode), func(t *testing.T) {
+			r := newRig(t, rigOpt{icache: true})
+			r.enableDecoder()
+			r.cpu.SetChaining(mode == modeChained)
+			// Hot loop with a cross-block back edge: ldw/addi/stw/loop — the
+			// periph-heavy bench kernel shape — plus a J so the chained path
+			// keeps exercising link follows after warm-up.
+			ins := []isa.Instr{
+				{Op: isa.OpMOVH, Rd: 1, Imm: int32(mem.DSPRBase >> 16)},
+				{Op: isa.OpORIL, Rd: 1, Imm: int32(mem.DSPRBase & 0xFFFF)},
+				{Op: isa.OpMOVI, Rd: 9, Imm: 2047},
+				{Op: isa.OpLDW, Rd: 2, Ra: 1, Imm: 0},
+				{Op: isa.OpADDI, Rd: 2, Ra: 2, Imm: 1},
+				{Op: isa.OpSTW, Rd: 2, Ra: 1, Imm: 0},
+				{Op: isa.OpLOOP, Ra: 9, Imm: -3},
+				{Op: isa.OpMOVI, Rd: 9, Imm: 2047},
+				{Op: isa.OpJ, Off24: -5},
+			}
+			words := make([]uint32, len(ins))
+			for i, in := range ins {
+				words[i] = in.Encode()
+			}
+			r.load(t, &isa.Program{Base: mem.FlashBase, Words: words})
+			r.clock.Run(20000) // warm caches, the block cache, and chain links
+
+			avg := testing.AllocsPerRun(10, func() {
+				r.clock.Run(5000)
+			})
+			if avg != 0 {
+				t.Fatalf("%v hot path allocates: %v allocs per 5000-cycle chunk", mode, avg)
+			}
+		})
+	}
+}
+
+// TestChainSeverOnSelfModify warms a call/return/loop spine until chain
+// links are installed, then lets the program patch its own code: the flash
+// write hook must sever every link (ChainSevers), bump the generation, and
+// the patched instruction — not the chained stale block — must execute.
+func TestChainSeverOnSelfModify(t *testing.T) {
+	r := newRig(t, rigOpt{})
+	d := r.enableDecoder()
+	r.cpu.SetChaining(true)
+
+	slot := uint32(12) // word index of the instruction the program patches
+	patch := isa.Instr{Op: isa.OpADDI, Rd: 4, Ra: 4, Imm: 1}.Encode()
 	ins := []isa.Instr{
-		{Op: isa.OpMOVH, Rd: 1, Imm: int32(mem.DSPRBase >> 16)},
-		{Op: isa.OpORIL, Rd: 1, Imm: int32(mem.DSPRBase & 0xFFFF)},
-		{Op: isa.OpMOVI, Rd: 9, Imm: 2047},
-		{Op: isa.OpLDW, Rd: 2, Ra: 1, Imm: 0},
-		{Op: isa.OpADDI, Rd: 2, Ra: 2, Imm: 1},
-		{Op: isa.OpSTW, Rd: 2, Ra: 1, Imm: 0},
-		{Op: isa.OpLOOP, Ra: 9, Imm: -3},
-		{Op: isa.OpMOVI, Rd: 9, Imm: 2047},
-		{Op: isa.OpJ, Off24: -5},
+		{Op: isa.OpMOVH, Rd: 2, Imm: int32((mem.FlashBase + slot*4) >> 16)},    // 0
+		{Op: isa.OpORIL, Rd: 2, Imm: int32((mem.FlashBase + slot*4) & 0xFFFF)}, // 1
+		{Op: isa.OpMOVH, Rd: 3, Imm: int32(patch >> 16)},                       // 2
+		{Op: isa.OpORIL, Rd: 3, Imm: int32(patch & 0xFFFF)},                    // 3
+		{Op: isa.OpMOVI, Rd: 9, Imm: 50},                                       // 4
+		{Op: isa.OpCALL, Off24: 10},                                            // 5: outer — call f (word 15)
+		{Op: isa.OpLOOP, Ra: 9, Imm: -1},                                       // 6: back to outer
+		{Op: isa.OpSTW, Rd: 3, Ra: 2, Imm: 0},                                  // 7: patch the slot
+		{Op: isa.OpNOP}, {Op: isa.OpNOP}, {Op: isa.OpNOP}, {Op: isa.OpNOP},     // 8-11
+		{Op: isa.OpADDI, Rd: 4, Ra: 4, Imm: 100}, // 12: slot
+		{Op: isa.OpHALT},                         // 13
+		{Op: isa.OpNOP},                          // 14
+		{Op: isa.OpJR, Ra: isa.RegLink},          // 15: f — return
 	}
 	words := make([]uint32, len(ins))
 	for i, in := range ins {
 		words[i] = in.Encode()
 	}
 	r.load(t, &isa.Program{Base: mem.FlashBase, Words: words})
-	r.clock.Run(20000) // warm caches and the block cache
-
-	avg := testing.AllocsPerRun(10, func() {
-		r.clock.Run(5000)
-	})
-	if avg != 0 {
-		t.Fatalf("block-dispatch hot path allocates: %v allocs per 5000-cycle chunk", avg)
+	n, ok := r.clock.RunUntil(r.cpu.Halted, 10000)
+	if !ok {
+		t.Fatalf("did not halt in %d cycles", n)
+	}
+	st := d.Stats()
+	if st.ChainLinks == 0 || st.ChainFollows == 0 {
+		t.Fatalf("call/return spine installed no chain links: %+v", st)
+	}
+	if st.ChainSevers == 0 {
+		t.Fatalf("code patch severed no chain links: %+v", st)
+	}
+	if st.Invalidations == 0 {
+		t.Fatalf("code patch did not invalidate: %+v", st)
+	}
+	if got := r.cpu.Reg(4); got != 1 {
+		t.Fatalf("r4 = %d, want 1 (stale chained block executed)", got)
 	}
 }
 

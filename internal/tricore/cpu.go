@@ -110,6 +110,14 @@ type CPU struct {
 	blkIdx int
 	blkGen uint64 // decoder generation the hint was taken at
 
+	// Block chaining (effective only with a decoder installed): when a
+	// block exits via taken control flow, the exited block is remembered so
+	// the next lookup can follow a direct block-to-block link instead of
+	// the PC-keyed map.
+	chain     bool
+	chainFrom *isa.Block // block exited by the pending control transfer
+	chainGen  uint64     // decoder generation chainFrom was captured at
+
 	waker *sim.Waker // clock wake handle; nil when driven without a clock
 
 	// TraceEnabled makes the core append every retired instruction to the
@@ -153,6 +161,7 @@ func (c *CPU) Counters() *sim.Counters { return c.counters }
 func (c *CPU) SetDecoder(d *isa.Decoder) {
 	c.dec = d
 	c.blk, c.blkIdx, c.blkGen = nil, 0, 0
+	c.chainFrom = nil
 	if d != nil && c.wordFn == nil {
 		c.wordFn = c.PMI.Word
 	}
@@ -160,6 +169,19 @@ func (c *CPU) SetDecoder(d *isa.Decoder) {
 
 // Decoder returns the installed block decoder (nil = per-word path).
 func (c *CPU) Decoder() *isa.Decoder { return c.dec }
+
+// SetChaining enables or disables block chaining on the cached dispatch
+// path. It has no effect without a decoder installed. Like SetDecoder, it
+// changes only wall-clock cost — simulated behaviour is bit-identical.
+func (c *CPU) SetChaining(on bool) {
+	c.chain = on
+	if !on {
+		c.chainFrom = nil
+	}
+}
+
+// Chaining reports whether block chaining is enabled.
+func (c *CPU) Chaining() bool { return c.chain }
 
 // NextWake implements sim.Sleeper: a halted core's Tick is a pure no-op,
 // so the clock may park it until Reset reschedules. A running core is due
@@ -182,6 +204,7 @@ func (c *CPU) Reset(entry uint32, sp uint32) {
 	c.stallUntil = 0
 	c.fetchValid = false
 	c.blk, c.blkIdx = nil, 0
+	c.chainFrom = nil
 	// A halted core is parked in the wake schedule; un-park it.
 	c.waker.Reschedule(c.waker.Cycle())
 	c.shadow = c.shadow[:0]

@@ -127,6 +127,9 @@ func (g *gen) buildMain() (*isa.Program, error) {
 	a.Call("task_filter")
 	a.Call("task_lookup")
 	a.Call("task_diag")
+	if g.spec.BranchLoops > 0 {
+		a.Call("task_branchy")
+	}
 	if g.spec.CRCTask {
 		a.Call("task_crc")
 	}
@@ -148,6 +151,9 @@ func (g *gen) buildMain() (*isa.Program, error) {
 	g.emitFilter(a)
 	g.emitLookup(a)
 	g.emitDiag(a)
+	if g.spec.BranchLoops > 0 {
+		g.emitBranchy(a)
+	}
 	if g.spec.CRCTask {
 		g.emitCRC(a)
 	}
@@ -241,6 +247,50 @@ func (g *gen) emitDiag(a *isa.Asm) {
 	a.Xor(2, 2, 1)
 	a.Stw(2, regBase, offDiagState)
 	a.Ret()
+}
+
+// emitBranchy: the control-flow-dominated task — a tight taken-branch
+// countdown loop, a call/return ladder CallDepth deep, and a LOOP-heavy
+// nested kernel. Hot control transfers cross block boundaries every couple
+// of instructions, which is exactly the shape block chaining targets.
+func (g *gen) emitBranchy(a *isa.Asm) {
+	g.enter(a, "task_branchy", 1, 2)
+	a.Stw(14, regBase, offBranchSave) // the ladder clobbers the link register
+	// Tight taken-branch loop: the backward BNE is taken every iteration
+	// but the last (static prediction's happy path).
+	a.Movi(1, int32(g.spec.BranchLoops))
+	a.Movi(2, 0)
+	a.Label("branchy_tight")
+	a.Addi(2, 2, 1)
+	a.Addi(1, 1, -1)
+	a.Bne(1, regZero, "branchy_tight")
+	// Call/return ladder: every call and return is a cross-block transfer.
+	if g.spec.CallDepth > 0 {
+		a.Call("branchy_f0")
+	}
+	// Nested LOOP kernel: the inner back edge runs on the zero-overhead
+	// loop pipe, the outer one re-enters across the inner block.
+	a.Movi(7, 4)
+	a.Label("branchy_outer")
+	a.Movi(8, int32(1+g.spec.BranchLoops/8))
+	a.Label("branchy_inner")
+	a.Xori(2, 2, 0x2A)
+	a.Loop(8, "branchy_inner")
+	a.Loop(7, "branchy_outer")
+	a.Stw(2, regBase, offBranchOut)
+	a.Ldw(14, regBase, offBranchSave)
+	a.Ret()
+	for i := 0; i < g.spec.CallDepth; i++ {
+		a.Label(fmt.Sprintf("branchy_f%d", i))
+		if i+1 < g.spec.CallDepth {
+			a.Stw(14, regBase, offBranchSave+4*int32(i+1))
+			a.Call(fmt.Sprintf("branchy_f%d", i+1))
+			a.Ldw(14, regBase, offBranchSave+4*int32(i+1))
+		} else {
+			a.Xori(2, 2, int32(i+1))
+		}
+		a.Ret()
+	}
 }
 
 // emitCRC: bit-serial CRC over the most recent CAN payload words in the

@@ -55,6 +55,15 @@ var mixes = map[string]Spec{
 		ADCPeriod: 2500, TimerPeriod: 9000, CANMeanGap: 5000,
 		TablesInScratch: true, EEPROMEmul: true,
 	},
+	// Control-flow-dominated shape: tight taken-branch loops, a deep
+	// call/return ladder, and LOOP-heavy nested kernels. The block
+	// interpreter's chained-dispatch stressor — hot control transfers
+	// cross block boundaries every couple of instructions.
+	"branchy": {
+		CodeKB: 4, TableKB: 4, FilterTaps: 4, DiagBranches: 24,
+		ADCPeriod: 4000, TimerPeriod: 16000, CANMeanGap: 9000,
+		BranchLoops: 24, CallDepth: 6,
+	},
 }
 
 // Mix returns the named workload mix instantiated for seed (ok=false for

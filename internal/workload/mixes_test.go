@@ -34,3 +34,39 @@ func TestMixUnknown(t *testing.T) {
 		t.Fatal("MixNames not sorted")
 	}
 }
+
+// TestBranchyMixRegistered pins the branchy mix — the chained-dispatch
+// stressor — in the registry with its control-flow knobs set, and proves
+// the generated branchy task executes (the result slot gets written).
+func TestBranchyMixRegistered(t *testing.T) {
+	names := MixNames()
+	i := sort.SearchStrings(names, "branchy")
+	if i >= len(names) || names[i] != "branchy" {
+		t.Fatalf("branchy mix missing from registry: %v", names)
+	}
+	sp, ok := Mix("branchy", 3)
+	if !ok {
+		t.Fatal("Mix(branchy) not found")
+	}
+	if sp.BranchLoops == 0 || sp.CallDepth == 0 {
+		t.Fatalf("branchy mix lacks control-flow knobs: %+v", sp)
+	}
+	s := soc.New(soc.TC1797(), sp.Seed)
+	app, err := Build(s, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.RunFor(300_000)
+	if app.SoC.DSPR.Read32(app.SaveBase+offBranchOut) == 0 {
+		t.Fatal("branchy task never wrote its result slot")
+	}
+	found := false
+	for _, sym := range app.Prog.Syms {
+		if sym.Name == "task_branchy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("task_branchy not generated")
+	}
+}

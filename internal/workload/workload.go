@@ -40,6 +40,8 @@ type Spec struct {
 	TablesInScratch bool // map tables to DSPR instead of flash (a customer mapping choice)
 	FilterTaps      int  // FIR length of the signal-filter task
 	DiagBranches    int  // branchy diagnostic checks per main iteration
+	BranchLoops     int  // taken-branch loop iterations of the branchy task (0 = task off)
+	CallDepth       int  // call/return ladder depth of the branchy task (max 8)
 
 	// Real-time configuration (periods in CPU cycles).
 	ADCPeriod   uint64
@@ -78,6 +80,12 @@ func (sp *Spec) Validate() error {
 	if sp.FilterTaps <= 0 || sp.FilterTaps > 64 {
 		return fmt.Errorf("workload %s: FilterTaps %d out of range", sp.Name, sp.FilterTaps)
 	}
+	if sp.BranchLoops < 0 || sp.BranchLoops > 256 {
+		return fmt.Errorf("workload %s: BranchLoops %d out of range", sp.Name, sp.BranchLoops)
+	}
+	if sp.CallDepth < 0 || sp.CallDepth > 8 {
+		return fmt.Errorf("workload %s: CallDepth %d out of range", sp.Name, sp.CallDepth)
+	}
 	if sp.ADCPeriod == 0 || sp.TimerPeriod == 0 || sp.CANMeanGap == 0 {
 		return fmt.Errorf("workload %s: zero period", sp.Name)
 	}
@@ -96,23 +104,25 @@ func (sp *Spec) Validate() error {
 // DSPR layout used by the generated code, relative to the reserved base
 // register r10 (never clobbered by generated code).
 const (
-	offSaveR1    = 0 // ISR register save slots
-	offSaveR2    = 4
-	offSaveR3    = 8
-	offSaveR4    = 12
-	offSaveR5    = 16
-	offTick      = 20 // timer tick counter
-	offRingIdx   = 24 // ADC ring write index (bytes)
-	offCANIdx    = 28 // CAN SRAM buffer index
-	offTableBase = 32 // lookup table base address (flash or DSPR)
-	offDiagState = 36
-	offEeprom    = 40 // EEPROM emulation flash base
-	offJumpTable = 44 // filler jump table address
-	offFilterOut = 48
-	offLookupOut = 52
-	offCRCOut    = 56
-	offObserver  = 192 // state-observer vector (up to 8 words) + results
-	offRing      = 64  // ADC sample ring, 16 words
+	offSaveR1     = 0 // ISR register save slots
+	offSaveR2     = 4
+	offSaveR3     = 8
+	offSaveR4     = 12
+	offSaveR5     = 16
+	offTick       = 20 // timer tick counter
+	offRingIdx    = 24 // ADC ring write index (bytes)
+	offCANIdx     = 28 // CAN SRAM buffer index
+	offTableBase  = 32 // lookup table base address (flash or DSPR)
+	offDiagState  = 36
+	offEeprom     = 40 // EEPROM emulation flash base
+	offJumpTable  = 44 // filler jump table address
+	offFilterOut  = 48
+	offLookupOut  = 52
+	offCRCOut     = 56
+	offBranchOut  = 60  // branchy task result
+	offBranchSave = 128 // branchy link-save slots (task entry + ladder, ≤ 9 words)
+	offObserver   = 192 // state-observer vector (up to 8 words) + results
+	offRing       = 64  // ADC sample ring, 16 words
 )
 
 // App is a generated application loaded into a SoC.
